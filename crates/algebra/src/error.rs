@@ -1,0 +1,74 @@
+//! Error type for the symbolic algebra engine.
+
+use std::fmt;
+
+use symmap_numeric::NumericError;
+
+/// Errors produced while parsing or manipulating symbolic expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// A textual polynomial or expression could not be parsed.
+    Parse { input: String, message: String },
+    /// An operation required a variable that is not known to the engine.
+    UnknownVariable(String),
+    /// An expression is not a polynomial (e.g. a division by a variable or a
+    /// transcendental call without an approximation).
+    NotPolynomial(String),
+    /// A numeric error bubbled up from the coefficient arithmetic.
+    Numeric(NumericError),
+    /// A side-relation set was malformed (e.g. duplicate definition names).
+    InvalidSideRelation(String),
+    /// An exponent was too large to manipulate safely.
+    ExponentTooLarge(u64),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Parse { input, message } => {
+                write!(f, "cannot parse `{input}`: {message}")
+            }
+            AlgebraError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            AlgebraError::NotPolynomial(e) => write!(f, "expression is not a polynomial: {e}"),
+            AlgebraError::Numeric(e) => write!(f, "numeric error: {e}"),
+            AlgebraError::InvalidSideRelation(s) => write!(f, "invalid side relation: {s}"),
+            AlgebraError::ExponentTooLarge(e) => write!(f, "exponent {e} is too large"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for AlgebraError {
+    fn from(e: NumericError) -> Self {
+        AlgebraError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AlgebraError::UnknownVariable("zz".into());
+        assert!(e.to_string().contains("zz"));
+        let e = AlgebraError::Numeric(NumericError::DivisionByZero);
+        assert!(e.to_string().contains("division"));
+    }
+
+    #[test]
+    fn source_chains_numeric_errors() {
+        use std::error::Error;
+        let e = AlgebraError::Numeric(NumericError::DivisionByZero);
+        assert!(e.source().is_some());
+        assert!(AlgebraError::UnknownVariable("x".into()).source().is_none());
+    }
+}

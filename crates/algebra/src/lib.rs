@@ -1,0 +1,51 @@
+//! # symmap-algebra
+//!
+//! A from-scratch symbolic computer algebra engine providing exactly the
+//! manipulations the DAC 2002 library-mapping methodology obtains from Maple V:
+//!
+//! * multivariate polynomial arithmetic over exact rationals ([`poly`]),
+//! * monomial orderings including elimination orders ([`ordering`]),
+//! * multi-divisor polynomial division / normal forms ([`division`]),
+//! * Buchberger's algorithm for Gröbner bases ([`groebner`]),
+//! * **simplification modulo a set of side relations** ([`simplify`]) — the
+//!   core primitive of the library-mapping algorithm,
+//! * factorization, expansion and Horner (nested) forms ([`factor`], [`horner`]),
+//! * multivariate substitution and variable elimination ([`subst`], [`eliminate`]),
+//! * symbolic expression trees with tree-height reduction ([`expr`]).
+//!
+//! ## Example: the paper's `simplify` example
+//!
+//! ```
+//! use symmap_algebra::poly::Poly;
+//! use symmap_algebra::simplify::{simplify_modulo, SideRelations};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let s = Poly::parse("x + x^3*y^2 - 2*x*y^3")?;
+//! let mut sr = SideRelations::new();
+//! sr.push("p", Poly::parse("x^2 - 2*y")?)?;
+//! let reduced = simplify_modulo(&s, &sr, &["x", "y", "p"])?;
+//! assert_eq!(reduced, Poly::parse("x + y^2*x*p")?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod division;
+pub mod eliminate;
+pub mod error;
+pub mod expr;
+pub mod factor;
+pub mod groebner;
+pub mod horner;
+pub mod monomial;
+pub mod ordering;
+pub mod parse;
+pub mod poly;
+pub mod simplify;
+pub mod subst;
+pub mod var;
+
+pub use error::AlgebraError;
+pub use monomial::Monomial;
+pub use ordering::MonomialOrder;
+pub use poly::Poly;
+pub use var::{Var, VarSet};

@@ -1,0 +1,280 @@
+//! Sparse power products (monomials) of symbolic variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::var::{Var, VarSet};
+
+/// A power product `x1^e1 * x2^e2 * ...` with non-negative integer exponents.
+///
+/// Stored sparsely as a sorted map from variable to exponent; variables with a
+/// zero exponent are never stored, so the empty monomial is the constant `1`.
+///
+/// ```
+/// use symmap_algebra::monomial::Monomial;
+/// use symmap_algebra::var::Var;
+///
+/// let m = Monomial::from_pairs(&[(Var::new("x"), 2), (Var::new("y"), 1)]);
+/// assert_eq!(m.total_degree(), 3);
+/// assert_eq!(m.degree_of(Var::new("x")), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Monomial {
+    exps: BTreeMap<Var, u32>,
+}
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn one() -> Self {
+        Monomial { exps: BTreeMap::new() }
+    }
+
+    /// A single variable raised to a power (degenerate to `1` when `exp == 0`).
+    pub fn var(v: Var, exp: u32) -> Self {
+        let mut exps = BTreeMap::new();
+        if exp > 0 {
+            exps.insert(v, exp);
+        }
+        Monomial { exps }
+    }
+
+    /// Builds a monomial from `(variable, exponent)` pairs; zero exponents are
+    /// dropped and repeated variables accumulate.
+    pub fn from_pairs(pairs: &[(Var, u32)]) -> Self {
+        let mut m = Monomial::one();
+        for &(v, e) in pairs {
+            if e > 0 {
+                *m.exps.entry(v).or_insert(0) += e;
+            }
+        }
+        m
+    }
+
+    /// Returns `true` for the constant monomial.
+    pub fn is_one(&self) -> bool {
+        self.exps.is_empty()
+    }
+
+    /// Total degree (sum of all exponents).
+    pub fn total_degree(&self) -> u32 {
+        self.exps.values().sum()
+    }
+
+    /// Exponent of a specific variable (0 when absent).
+    pub fn degree_of(&self, v: Var) -> u32 {
+        self.exps.get(&v).copied().unwrap_or(0)
+    }
+
+    /// The set of variables with a non-zero exponent, in interner order.
+    pub fn vars(&self) -> VarSet {
+        self.exps.keys().copied().collect()
+    }
+
+    /// Iterates over `(variable, exponent)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, u32)> + '_ {
+        self.exps.iter().map(|(&v, &e)| (v, e))
+    }
+
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.exps.len()
+    }
+
+    /// Product of two monomials (exponents add).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut exps = self.exps.clone();
+        for (&v, &e) in &other.exps {
+            *exps.entry(v).or_insert(0) += e;
+        }
+        Monomial { exps }
+    }
+
+    /// Returns `true` when `self` divides `other` (component-wise `<=`).
+    pub fn divides(&self, other: &Monomial) -> bool {
+        self.exps.iter().all(|(v, &e)| other.degree_of(*v) >= e)
+    }
+
+    /// Quotient `self / other`, or `None` when `other` does not divide `self`.
+    pub fn div(&self, other: &Monomial) -> Option<Monomial> {
+        if !other.divides(self) {
+            return None;
+        }
+        let mut exps = BTreeMap::new();
+        for (&v, &e) in &self.exps {
+            let d = e - other.degree_of(v);
+            if d > 0 {
+                exps.insert(v, d);
+            }
+        }
+        Some(Monomial { exps })
+    }
+
+    /// Least common multiple (component-wise max).
+    pub fn lcm(&self, other: &Monomial) -> Monomial {
+        let mut exps = self.exps.clone();
+        for (&v, &e) in &other.exps {
+            let cur = exps.entry(v).or_insert(0);
+            *cur = (*cur).max(e);
+        }
+        Monomial { exps }
+    }
+
+    /// Greatest common divisor (component-wise min).
+    pub fn gcd(&self, other: &Monomial) -> Monomial {
+        let mut exps = BTreeMap::new();
+        for (&v, &e) in &self.exps {
+            let o = other.degree_of(v);
+            let m = e.min(o);
+            if m > 0 {
+                exps.insert(v, m);
+            }
+        }
+        Monomial { exps }
+    }
+
+    /// Returns `true` when the two monomials share no variable — Buchberger's
+    /// first criterion skips S-polynomials of such pairs.
+    pub fn is_coprime_with(&self, other: &Monomial) -> bool {
+        self.exps.keys().all(|v| other.degree_of(*v) == 0)
+    }
+
+    /// Raises the monomial to a power.
+    pub fn pow(&self, k: u32) -> Monomial {
+        if k == 0 {
+            return Monomial::one();
+        }
+        Monomial { exps: self.exps.iter().map(|(&v, &e)| (v, e * k)).collect() }
+    }
+
+    /// Number of multiplications needed to evaluate the bare power product
+    /// naively (used by the cost estimator).
+    pub fn naive_mul_count(&self) -> u32 {
+        let deg = self.total_degree();
+        deg.saturating_sub(1)
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (v, e) in self.iter() {
+            if !first {
+                write!(f, "*")?;
+            }
+            first = false;
+            if e == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{v}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn x() -> Var {
+        Var::new("x")
+    }
+    fn y() -> Var {
+        Var::new("y")
+    }
+    fn z() -> Var {
+        Var::new("z")
+    }
+
+    #[test]
+    fn construction_drops_zero_exponents() {
+        let m = Monomial::from_pairs(&[(x(), 0), (y(), 2)]);
+        assert_eq!(m.degree_of(x()), 0);
+        assert_eq!(m.degree_of(y()), 2);
+        assert_eq!(m.num_vars(), 1);
+        assert!(Monomial::var(x(), 0).is_one());
+    }
+
+    #[test]
+    fn multiplication_adds_exponents() {
+        let a = Monomial::from_pairs(&[(x(), 1), (y(), 2)]);
+        let b = Monomial::from_pairs(&[(x(), 3), (z(), 1)]);
+        let p = a.mul(&b);
+        assert_eq!(p.degree_of(x()), 4);
+        assert_eq!(p.degree_of(y()), 2);
+        assert_eq!(p.degree_of(z()), 1);
+        assert_eq!(p.total_degree(), 7);
+    }
+
+    #[test]
+    fn division() {
+        let a = Monomial::from_pairs(&[(x(), 3), (y(), 2)]);
+        let b = Monomial::from_pairs(&[(x(), 1), (y(), 2)]);
+        assert!(b.divides(&a));
+        assert!(!a.divides(&b));
+        let q = a.div(&b).unwrap();
+        assert_eq!(q, Monomial::var(x(), 2));
+        assert!(b.div(&a).is_none());
+        assert_eq!(a.div(&a).unwrap(), Monomial::one());
+    }
+
+    #[test]
+    fn lcm_gcd() {
+        let a = Monomial::from_pairs(&[(x(), 3), (y(), 1)]);
+        let b = Monomial::from_pairs(&[(x(), 1), (z(), 2)]);
+        let l = a.lcm(&b);
+        assert_eq!(l.degree_of(x()), 3);
+        assert_eq!(l.degree_of(y()), 1);
+        assert_eq!(l.degree_of(z()), 2);
+        let g = a.gcd(&b);
+        assert_eq!(g, Monomial::var(x(), 1));
+    }
+
+    #[test]
+    fn coprimality() {
+        let a = Monomial::from_pairs(&[(x(), 2)]);
+        let b = Monomial::from_pairs(&[(y(), 3)]);
+        assert!(a.is_coprime_with(&b));
+        assert!(!a.is_coprime_with(&a));
+        assert!(Monomial::one().is_coprime_with(&a));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Monomial::one().to_string(), "1");
+        let m = Monomial::from_pairs(&[(x(), 2), (y(), 1)]);
+        assert_eq!(m.to_string(), "x^2*y");
+    }
+
+    #[test]
+    fn pow() {
+        let m = Monomial::from_pairs(&[(x(), 2), (y(), 1)]);
+        assert_eq!(m.pow(3).degree_of(x()), 6);
+        assert_eq!(m.pow(0), Monomial::one());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_then_div_round_trips(e1 in 0_u32..6, e2 in 0_u32..6, e3 in 0_u32..6, e4 in 0_u32..6) {
+            let a = Monomial::from_pairs(&[(x(), e1), (y(), e2)]);
+            let b = Monomial::from_pairs(&[(x(), e3), (y(), e4)]);
+            let p = a.mul(&b);
+            prop_assert_eq!(p.div(&b).unwrap(), a);
+            prop_assert!(b.divides(&p));
+        }
+
+        #[test]
+        fn prop_lcm_divisible_by_both(e1 in 0_u32..6, e2 in 0_u32..6, e3 in 0_u32..6, e4 in 0_u32..6) {
+            let a = Monomial::from_pairs(&[(x(), e1), (y(), e2)]);
+            let b = Monomial::from_pairs(&[(x(), e3), (y(), e4)]);
+            let l = a.lcm(&b);
+            prop_assert!(a.divides(&l) && b.divides(&l));
+            let g = a.gcd(&b);
+            prop_assert!(g.divides(&a) && g.divides(&b));
+        }
+    }
+}

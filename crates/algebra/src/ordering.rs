@@ -1,0 +1,335 @@
+//! Monomial orderings.
+//!
+//! Gröbner-basis computations and normal-form reduction are only defined
+//! relative to a *monomial order*. The library-mapping algorithm uses
+//! lexicographic and elimination orders so that reduction rewrites the target
+//! polynomial **in terms of the library-element variables** (the new symbols
+//! `p`, `q`, … introduced by side relations) rather than the other way around.
+
+use std::cmp::Ordering;
+
+use crate::monomial::Monomial;
+use crate::var::{Var, VarSet};
+
+/// A monomial order over a fixed variable precedence list.
+///
+/// The precedence list ranks variables from most significant to least
+/// significant, mirroring Maple's `[x, y, p]` ordering argument. Variables not
+/// in the list rank after all listed variables, ordered by interner index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonomialOrder {
+    /// Pure lexicographic order.
+    Lex(VarSet),
+    /// Graded lexicographic: compare total degree first, ties broken by lex.
+    GrLex(VarSet),
+    /// Graded reverse lexicographic: total degree first, ties broken by the
+    /// *smallest* variable having the *larger* exponent losing.
+    GrevLex(VarSet),
+    /// Elimination order: monomials involving any of the first `k` variables
+    /// of the list are larger than monomials involving none; within each block
+    /// GrevLex is used. Reduction under this order eliminates the first `k`
+    /// variables whenever possible.
+    Elimination(VarSet, usize),
+}
+
+impl MonomialOrder {
+    /// Convenience constructor for lexicographic order over named variables.
+    pub fn lex(names: &[&str]) -> Self {
+        MonomialOrder::Lex(VarSet::from_names(names))
+    }
+
+    /// Convenience constructor for graded lexicographic order.
+    pub fn grlex(names: &[&str]) -> Self {
+        MonomialOrder::GrLex(VarSet::from_names(names))
+    }
+
+    /// Convenience constructor for graded reverse lexicographic order.
+    pub fn grevlex(names: &[&str]) -> Self {
+        MonomialOrder::GrevLex(VarSet::from_names(names))
+    }
+
+    /// The variable precedence list of this order.
+    pub fn vars(&self) -> &VarSet {
+        match self {
+            MonomialOrder::Lex(v)
+            | MonomialOrder::GrLex(v)
+            | MonomialOrder::GrevLex(v)
+            | MonomialOrder::Elimination(v, _) => v,
+        }
+    }
+
+    /// Extends the precedence list with any variables of `extra` not yet
+    /// listed (appended after the existing ones, i.e. with lower precedence).
+    pub fn extended_with(&self, extra: &VarSet) -> MonomialOrder {
+        let merged = self.vars().union(extra);
+        match self {
+            MonomialOrder::Lex(_) => MonomialOrder::Lex(merged),
+            MonomialOrder::GrLex(_) => MonomialOrder::GrLex(merged),
+            MonomialOrder::GrevLex(_) => MonomialOrder::GrevLex(merged),
+            MonomialOrder::Elimination(_, k) => MonomialOrder::Elimination(merged, *k),
+        }
+    }
+
+    /// Rank of a variable: lower rank = more significant.
+    fn rank(&self, v: Var) -> (usize, u32) {
+        match self.vars().position(v) {
+            Some(p) => (p, 0),
+            None => (usize::MAX, v.index()),
+        }
+    }
+
+    /// Exponent vector of `m` sorted by precedence rank (most significant first).
+    fn exponent_vector(&self, m: &Monomial) -> Vec<(usize, u32, u32)> {
+        let mut v: Vec<(usize, u32, u32)> = m
+            .iter()
+            .map(|(var, e)| {
+                let (r, tie) = self.rank(var);
+                (r, tie, e)
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn lex_cmp(&self, a: &Monomial, b: &Monomial) -> Ordering {
+        let va = self.exponent_vector(a);
+        let vb = self.exponent_vector(b);
+        let mut ia = va.iter().peekable();
+        let mut ib = vb.iter().peekable();
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (None, None) => return Ordering::Equal,
+                (Some(_), None) => return Ordering::Greater,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(&&(ra, ta, ea)), Some(&&(rb, tb, eb))) => {
+                    match (ra, ta).cmp(&(rb, tb)) {
+                        // `a` has a more significant variable that `b` lacks.
+                        Ordering::Less => return Ordering::Greater,
+                        Ordering::Greater => return Ordering::Less,
+                        Ordering::Equal => match ea.cmp(&eb) {
+                            Ordering::Equal => {
+                                ia.next();
+                                ib.next();
+                            }
+                            o => return o,
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    fn grevlex_cmp(&self, a: &Monomial, b: &Monomial) -> Ordering {
+        match a.total_degree().cmp(&b.total_degree()) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        // Reverse-lex tie break: look at the least significant variable where
+        // the exponents differ; the monomial with the larger exponent there is
+        // the smaller monomial.
+        let va = self.exponent_vector(a);
+        let vb = self.exponent_vector(b);
+        let mut ia = va.iter().rev().peekable();
+        let mut ib = vb.iter().rev().peekable();
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (None, None) => return Ordering::Equal,
+                // `a` still has variables in less significant positions that `b`
+                // lacks: `a` is smaller.
+                (Some(_), None) => return Ordering::Less,
+                (None, Some(_)) => return Ordering::Greater,
+                (Some(&&(ra, ta, ea)), Some(&&(rb, tb, eb))) => {
+                    match (ra, ta).cmp(&(rb, tb)) {
+                        // `a`'s least significant remaining variable is less
+                        // significant than `b`'s: `a` has the extra exponent at
+                        // the smaller variable, so `a` is smaller.
+                        Ordering::Greater => return Ordering::Less,
+                        Ordering::Less => return Ordering::Greater,
+                        Ordering::Equal => match ea.cmp(&eb) {
+                            Ordering::Equal => {
+                                ia.next();
+                                ib.next();
+                            }
+                            Ordering::Greater => return Ordering::Less,
+                            Ordering::Less => return Ordering::Greater,
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    fn block_degree(&self, m: &Monomial, k: usize) -> u32 {
+        self.vars()
+            .iter()
+            .take(k)
+            .map(|v| m.degree_of(v))
+            .sum()
+    }
+
+    /// Compares two monomials under this order.
+    pub fn cmp(&self, a: &Monomial, b: &Monomial) -> Ordering {
+        match self {
+            MonomialOrder::Lex(_) => self.lex_cmp(a, b),
+            MonomialOrder::GrLex(_) => match a.total_degree().cmp(&b.total_degree()) {
+                Ordering::Equal => self.lex_cmp(a, b),
+                o => o,
+            },
+            MonomialOrder::GrevLex(_) => self.grevlex_cmp(a, b),
+            MonomialOrder::Elimination(_, k) => {
+                match self.block_degree(a, *k).cmp(&self.block_degree(b, *k)) {
+                    Ordering::Equal => self.grevlex_cmp(a, b),
+                    o => o,
+                }
+            }
+        }
+    }
+
+    /// Returns the maximal element of an iterator of monomials under this
+    /// order, or `None` when empty.
+    pub fn max<'a, I: IntoIterator<Item = &'a Monomial>>(&self, iter: I) -> Option<&'a Monomial> {
+        iter.into_iter().fold(None, |best, m| match best {
+            None => Some(m),
+            Some(b) => {
+                if self.cmp(m, b) == Ordering::Greater {
+                    Some(m)
+                } else {
+                    Some(b)
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pairs: &[(&str, u32)]) -> Monomial {
+        Monomial::from_pairs(
+            &pairs.iter().map(|&(n, e)| (Var::new(n), e)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn lex_basic() {
+        let o = MonomialOrder::lex(&["x", "y", "z"]);
+        // x > y^5 under lex with x > y.
+        assert_eq!(o.cmp(&m(&[("x", 1)]), &m(&[("y", 5)])), Ordering::Greater);
+        assert_eq!(o.cmp(&m(&[("x", 1), ("y", 1)]), &m(&[("x", 1)])), Ordering::Greater);
+        assert_eq!(o.cmp(&m(&[("x", 2)]), &m(&[("x", 2)])), Ordering::Equal);
+        assert_eq!(o.cmp(&Monomial::one(), &m(&[("z", 1)])), Ordering::Less);
+    }
+
+    #[test]
+    fn grlex_degree_dominates() {
+        let o = MonomialOrder::grlex(&["x", "y"]);
+        assert_eq!(o.cmp(&m(&[("y", 3)]), &m(&[("x", 2)])), Ordering::Greater);
+        // Same degree: lex breaks the tie.
+        assert_eq!(o.cmp(&m(&[("x", 2)]), &m(&[("x", 1), ("y", 1)])), Ordering::Greater);
+    }
+
+    #[test]
+    fn grevlex_textbook_example() {
+        // Cox–Little–O'Shea: under grevlex with x > y > z,
+        // x^2*y*z^2 > x*y^3*z (same degree 5; compare last variable: z^2 vs z
+        // means the first has MORE of the least variable... actually the
+        // standard example is x*y^2*z vs x^2*z^2 — let us use exponent vectors
+        // (1,2,1) and (2,0,2): total degree 4 both; reversed comparison finds
+        // last differing exponent z: 1 vs 2, the one with larger z exponent is
+        // smaller, so (1,2,1) > (2,0,2).
+        let o = MonomialOrder::grevlex(&["x", "y", "z"]);
+        let a = m(&[("x", 1), ("y", 2), ("z", 1)]);
+        let b = m(&[("x", 2), ("z", 2)]);
+        assert_eq!(o.cmp(&a, &b), Ordering::Greater);
+        assert_eq!(o.cmp(&b, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn grevlex_differs_from_grlex() {
+        // Exponents (1,1,2) vs (0,3,1) with x>y>z, degree 4 each.
+        // grlex: lex compare → x^1 > x^0 so a > b.
+        // grevlex: last differing from the end: z: 2 vs 1 → a has more of the
+        // smallest variable → a < b.
+        let a = m(&[("x", 1), ("y", 1), ("z", 2)]);
+        let b = m(&[("y", 3), ("z", 1)]);
+        let grlex = MonomialOrder::grlex(&["x", "y", "z"]);
+        let grevlex = MonomialOrder::grevlex(&["x", "y", "z"]);
+        assert_eq!(grlex.cmp(&a, &b), Ordering::Greater);
+        assert_eq!(grevlex.cmp(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn elimination_order_prefers_block_free_monomials() {
+        // Eliminate x (k = 1): any monomial containing x is larger than any
+        // monomial not containing x.
+        let o = MonomialOrder::Elimination(VarSet::from_names(&["x", "y", "p"]), 1);
+        assert_eq!(o.cmp(&m(&[("x", 1)]), &m(&[("y", 7), ("p", 3)])), Ordering::Greater);
+        assert_eq!(o.cmp(&m(&[("y", 1)]), &m(&[("p", 1)])), Ordering::Greater);
+    }
+
+    #[test]
+    fn max_picks_leading_monomial() {
+        let o = MonomialOrder::lex(&["x", "y"]);
+        let ms = vec![m(&[("y", 4)]), m(&[("x", 1), ("y", 1)]), m(&[("x", 2)])];
+        assert_eq!(o.max(&ms), Some(&ms[2]));
+        assert_eq!(o.max(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn unlisted_variables_rank_last() {
+        let o = MonomialOrder::lex(&["x"]);
+        // y is not listed: x beats any power of y.
+        assert_eq!(o.cmp(&m(&[("x", 1)]), &m(&[("y", 9)])), Ordering::Greater);
+    }
+
+    #[test]
+    fn extended_with_appends_lower_precedence() {
+        let o = MonomialOrder::lex(&["x"]).extended_with(&VarSet::from_names(&["y"]));
+        assert_eq!(o.vars().len(), 2);
+        assert_eq!(o.cmp(&m(&[("x", 1)]), &m(&[("y", 3)])), Ordering::Greater);
+    }
+
+    #[test]
+    fn orders_are_total_and_antisymmetric() {
+        let monos = vec![
+            Monomial::one(),
+            m(&[("x", 1)]),
+            m(&[("y", 2)]),
+            m(&[("x", 1), ("y", 1)]),
+            m(&[("x", 3), ("z", 1)]),
+            m(&[("z", 4)]),
+        ];
+        for order in [
+            MonomialOrder::lex(&["x", "y", "z"]),
+            MonomialOrder::grlex(&["x", "y", "z"]),
+            MonomialOrder::grevlex(&["x", "y", "z"]),
+            MonomialOrder::Elimination(VarSet::from_names(&["x", "y", "z"]), 1),
+        ] {
+            for a in &monos {
+                for b in &monos {
+                    let ab = order.cmp(a, b);
+                    let ba = order.cmp(b, a);
+                    assert_eq!(ab, ba.reverse(), "antisymmetry failed for {a} vs {b}");
+                    if a == b {
+                        assert_eq!(ab, Ordering::Equal);
+                    }
+                }
+            }
+            // Multiplicativity: a > b implies a*c > b*c.
+            for a in &monos {
+                for b in &monos {
+                    for c in &monos {
+                        if order.cmp(a, b) == Ordering::Greater {
+                            assert_eq!(
+                                order.cmp(&a.mul(c), &b.mul(c)),
+                                Ordering::Greater,
+                                "multiplicativity failed"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

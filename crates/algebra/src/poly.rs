@@ -1,0 +1,593 @@
+//! Multivariate polynomials over exact rationals.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use symmap_numeric::Rational;
+
+use crate::error::AlgebraError;
+use crate::monomial::Monomial;
+use crate::ordering::MonomialOrder;
+use crate::var::{Var, VarSet};
+
+/// A multivariate polynomial with [`Rational`] coefficients.
+///
+/// Terms are stored canonically in a map keyed by [`Monomial`]; zero
+/// coefficients are never stored, so the zero polynomial has no terms.
+///
+/// ```
+/// use symmap_algebra::poly::Poly;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Poly::parse("(x + 1)*(x - 1)")?;
+/// assert_eq!(p, Poly::parse("x^2 - 1")?);
+/// assert_eq!(p.total_degree(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+/// A single `(monomial, coefficient)` term of a polynomial.
+pub type Term = (Monomial, Rational);
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly::constant(Rational::one())
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rational) -> Self {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::one(), c);
+        }
+        Poly { terms }
+    }
+
+    /// An integer constant polynomial.
+    pub fn integer(c: i64) -> Self {
+        Poly::constant(Rational::integer(c))
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        Poly::from_term(Monomial::var(v, 1), Rational::one())
+    }
+
+    /// The polynomial consisting of a single named variable.
+    pub fn var_named(name: &str) -> Self {
+        Poly::var(Var::new(name))
+    }
+
+    /// A single-term polynomial `c * m`.
+    pub fn from_term(m: Monomial, c: Rational) -> Self {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(m, c);
+        }
+        Poly { terms }
+    }
+
+    /// Builds a polynomial from a list of terms (duplicates accumulate).
+    pub fn from_terms<I: IntoIterator<Item = Term>>(iter: I) -> Self {
+        let mut p = Poly::zero();
+        for (m, c) in iter {
+            p.add_term(&m, &c);
+        }
+        p
+    }
+
+    /// Parses a textual polynomial such as `"x^2 + 2*x*y - 3/2"`.
+    ///
+    /// The grammar accepts `+ - * ^ ( )`, integer and rational/decimal
+    /// literals, and identifiers; see [`crate::parse`] for details. Products of
+    /// sums are expanded, so the result is always in canonical expanded form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgebraError::Parse`] on malformed input and
+    /// [`AlgebraError::NotPolynomial`] when the expression contains division
+    /// by a non-constant or a function call.
+    pub fn parse(input: &str) -> Result<Self, AlgebraError> {
+        crate::parse::parse_polynomial(input)
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` if the polynomial is a constant (including zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.contains_key(&Monomial::one()))
+    }
+
+    /// Returns the constant value when [`Poly::is_constant`] is true.
+    pub fn as_constant(&self) -> Option<Rational> {
+        if self.is_zero() {
+            Some(Rational::zero())
+        } else if self.is_constant() {
+            self.terms.get(&Monomial::one()).cloned()
+        } else {
+            None
+        }
+    }
+
+    /// Returns `Some(var)` when the polynomial is exactly a single variable
+    /// with coefficient one.
+    pub fn as_single_variable(&self) -> Option<Var> {
+        if self.terms.len() != 1 {
+            return None;
+        }
+        let (m, c) = self.terms.iter().next().expect("one term");
+        if !c.is_one() || m.total_degree() != 1 {
+            return None;
+        }
+        m.iter().next().map(|(v, _)| v)
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs in canonical storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &Rational)> + '_ {
+        self.terms.iter()
+    }
+
+    /// Total degree (max over terms); zero polynomial has degree 0.
+    pub fn total_degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::total_degree).max().unwrap_or(0)
+    }
+
+    /// Degree in a specific variable.
+    pub fn degree_in(&self, v: Var) -> u32 {
+        self.terms.keys().map(|m| m.degree_of(v)).max().unwrap_or(0)
+    }
+
+    /// All variables that occur with non-zero exponent.
+    pub fn vars(&self) -> VarSet {
+        let mut s = VarSet::new();
+        for m in self.terms.keys() {
+            for (v, _) in m.iter() {
+                s.push(v);
+            }
+        }
+        s
+    }
+
+    /// Coefficient of a monomial (zero if absent).
+    pub fn coefficient(&self, m: &Monomial) -> Rational {
+        self.terms.get(m).cloned().unwrap_or_else(Rational::zero)
+    }
+
+    /// Adds `c * m` in place.
+    pub fn add_term(&mut self, m: &Monomial, c: &Rational) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(m.clone()).or_insert_with(Rational::zero);
+        *entry = &*entry + c;
+        if entry.is_zero() {
+            self.terms.remove(m);
+        }
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in other.iter() {
+            out.add_term(m, c);
+        }
+        out
+    }
+
+    /// Polynomial subtraction.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in other.iter() {
+            out.add_term(m, &-c.clone());
+        }
+        out
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Poly {
+        Poly { terms: self.terms.iter().map(|(m, c)| (m.clone(), -c.clone())).collect() }
+    }
+
+    /// Multiplication by a scalar.
+    pub fn scale(&self, c: &Rational) -> Poly {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly { terms: self.terms.iter().map(|(m, k)| (m.clone(), k * c)).collect() }
+    }
+
+    /// Multiplication by a single term `c * m`.
+    pub fn mul_term(&self, m: &Monomial, c: &Rational) -> Poly {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly { terms: self.terms.iter().map(|(mm, k)| (mm.mul(m), k * c)).collect() }
+    }
+
+    /// Polynomial multiplication (naive term-by-term expansion).
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in self.iter() {
+            for (m2, c2) in other.iter() {
+                out.add_term(&m.mul(m2), &(c * c2));
+            }
+        }
+        out
+    }
+
+    /// Raises the polynomial to a non-negative power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgebraError::ExponentTooLarge`] when `exp > 64` to guard
+    /// against accidental term-count explosions.
+    pub fn pow(&self, exp: u32) -> Result<Poly, AlgebraError> {
+        if exp > 64 {
+            return Err(AlgebraError::ExponentTooLarge(exp as u64));
+        }
+        let mut result = Poly::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul(&base);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Leading term under a monomial order, or `None` for the zero polynomial.
+    pub fn leading_term(&self, order: &MonomialOrder) -> Option<Term> {
+        order
+            .max(self.terms.keys())
+            .map(|m| (m.clone(), self.terms[m].clone()))
+    }
+
+    /// Leading monomial under a monomial order.
+    pub fn leading_monomial(&self, order: &MonomialOrder) -> Option<Monomial> {
+        self.leading_term(order).map(|(m, _)| m)
+    }
+
+    /// Divides every coefficient by the leading coefficient so the leading
+    /// coefficient becomes one (no-op for the zero polynomial).
+    pub fn monic(&self, order: &MonomialOrder) -> Poly {
+        match self.leading_term(order) {
+            None => Poly::zero(),
+            Some((_, c)) => self.scale(&c.recip().expect("leading coefficient is nonzero")),
+        }
+    }
+
+    /// Evaluates the polynomial at rational points. Missing variables evaluate
+    /// as zero.
+    pub fn eval(&self, assignment: &BTreeMap<Var, Rational>) -> Rational {
+        let mut acc = Rational::zero();
+        for (m, c) in self.iter() {
+            let mut term = c.clone();
+            for (v, e) in m.iter() {
+                let val = assignment.get(&v).cloned().unwrap_or_else(Rational::zero);
+                term = &term * &val.pow(e as i32).expect("non-negative exponent");
+            }
+            acc = &acc + &term;
+        }
+        acc
+    }
+
+    /// Evaluates the polynomial in floating point. Missing variables evaluate
+    /// as zero.
+    pub fn eval_f64(&self, assignment: &BTreeMap<Var, f64>) -> f64 {
+        let mut acc = 0.0;
+        for (m, c) in self.iter() {
+            let mut term = c.to_f64();
+            for (v, e) in m.iter() {
+                term *= assignment.get(&v).copied().unwrap_or(0.0).powi(e as i32);
+            }
+            acc += term;
+        }
+        acc
+    }
+
+    /// Collects the polynomial as a dense univariate coefficient vector in `v`
+    /// with polynomial coefficients: index `k` holds the coefficient of `v^k`.
+    pub fn coefficients_in(&self, v: Var) -> Vec<Poly> {
+        let deg = self.degree_in(v) as usize;
+        let mut out = vec![Poly::zero(); deg + 1];
+        for (m, c) in self.iter() {
+            let k = m.degree_of(v) as usize;
+            let reduced = m.div(&Monomial::var(v, k as u32)).expect("divides by construction");
+            out[k].add_term(&reduced, c);
+        }
+        out
+    }
+
+    /// Counts the multiplications and additions needed to evaluate the
+    /// polynomial naively in expanded form (used as a software cost proxy when
+    /// no library element covers a subexpression).
+    pub fn naive_op_count(&self) -> (u32, u32) {
+        let mut muls = 0;
+        let mut adds = 0;
+        for (m, c) in self.iter() {
+            muls += m.naive_mul_count();
+            if !m.is_one() && !c.is_one() && !(-c.clone()).is_one() {
+                muls += 1;
+            }
+        }
+        if self.num_terms() > 1 {
+            adds += self.num_terms() as u32 - 1;
+        }
+        (muls, adds)
+    }
+
+    /// Content: the gcd of all coefficient numerators divided by the lcm of
+    /// denominators (positive), or zero for the zero polynomial.
+    pub fn content(&self) -> Rational {
+        use symmap_numeric::BigInt;
+        if self.is_zero() {
+            return Rational::zero();
+        }
+        let mut num_gcd = BigInt::zero();
+        let mut den_lcm = BigInt::one();
+        for c in self.terms.values() {
+            num_gcd = num_gcd.gcd(c.numer());
+            den_lcm = den_lcm.lcm(c.denom());
+        }
+        Rational::from_bigints(num_gcd, den_lcm)
+    }
+
+    /// Maps every coefficient through `f`, dropping terms that become zero.
+    pub fn map_coefficients(&self, mut f: impl FnMut(&Rational) -> Rational) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in self.iter() {
+            out.add_term(m, &f(c));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Display in a readable "descending degree" order.
+        let order = MonomialOrder::GrLex(self.vars());
+        let mut terms: Vec<(&Monomial, &Rational)> = self.terms.iter().collect();
+        terms.sort_by(|a, b| order.cmp(b.0, a.0));
+        for (i, (m, c)) in terms.iter().enumerate() {
+            let neg = c.is_negative();
+            let abs = c.abs();
+            if i == 0 {
+                if neg {
+                    write!(f, "-")?;
+                }
+            } else if neg {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            if m.is_one() {
+                write!(f, "{abs}")?;
+            } else if abs.is_one() {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{abs}*{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::ops::Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        Poly::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        Poly::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        Poly::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for &Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        Poly::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(s: &str) -> Poly {
+        Poly::parse(s).unwrap()
+    }
+
+    #[test]
+    fn construction_and_constants() {
+        assert!(Poly::zero().is_zero());
+        assert!(Poly::one().is_constant());
+        assert_eq!(Poly::integer(5).as_constant(), Some(Rational::integer(5)));
+        assert_eq!(Poly::constant(Rational::zero()), Poly::zero());
+        assert_eq!(Poly::var_named("x").as_single_variable(), Some(Var::new("x")));
+        assert_eq!(p("2*x").as_single_variable(), None);
+    }
+
+    #[test]
+    fn addition_cancels() {
+        let a = p("x^2 + y");
+        let b = p("-x^2 + y");
+        assert_eq!(a.add(&b), p("2*y"));
+        assert_eq!(a.sub(&a), Poly::zero());
+    }
+
+    #[test]
+    fn multiplication_expands() {
+        assert_eq!(p("x + 1").mul(&p("x - 1")), p("x^2 - 1"));
+        assert_eq!(p("x + y").mul(&p("x + y")), p("x^2 + 2*x*y + y^2"));
+        assert_eq!(p("0").mul(&p("x + y")), Poly::zero());
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(p("x + 1").pow(3).unwrap(), p("x^3 + 3*x^2 + 3*x + 1"));
+        assert_eq!(p("x").pow(0).unwrap(), Poly::one());
+        assert!(p("x").pow(1000).is_err());
+    }
+
+    #[test]
+    fn degrees_and_vars() {
+        let q = p("x^3*y + z - 7");
+        assert_eq!(q.total_degree(), 4);
+        assert_eq!(q.degree_in(Var::new("x")), 3);
+        assert_eq!(q.degree_in(Var::new("w")), 0);
+        assert_eq!(q.vars().len(), 3);
+        assert_eq!(q.num_terms(), 3);
+    }
+
+    #[test]
+    fn leading_term_depends_on_order() {
+        let q = p("x + y^3");
+        let lex = MonomialOrder::lex(&["x", "y"]);
+        let grlex = MonomialOrder::grlex(&["x", "y"]);
+        assert_eq!(q.leading_monomial(&lex).unwrap().to_string(), "x");
+        assert_eq!(q.leading_monomial(&grlex).unwrap().to_string(), "y^3");
+        assert!(Poly::zero().leading_term(&lex).is_none());
+    }
+
+    #[test]
+    fn monic_normalizes_leading_coefficient() {
+        let q = p("3*x^2 + 6*y");
+        let lex = MonomialOrder::lex(&["x", "y"]);
+        let m = q.monic(&lex);
+        assert_eq!(m, p("x^2 + 2*y"));
+        assert_eq!(Poly::zero().monic(&lex), Poly::zero());
+    }
+
+    #[test]
+    fn eval_exact_and_float() {
+        let q = p("x^2*y - 1/2");
+        let mut a = BTreeMap::new();
+        a.insert(Var::new("x"), Rational::integer(3));
+        a.insert(Var::new("y"), Rational::new(1, 3));
+        assert_eq!(q.eval(&a), Rational::new(5, 2));
+        let mut af = BTreeMap::new();
+        af.insert(Var::new("x"), 3.0);
+        af.insert(Var::new("y"), 1.0 / 3.0);
+        assert!((q.eval_f64(&af) - 2.5).abs() < 1e-12);
+        // Missing variable treated as zero.
+        assert_eq!(p("x + 5").eval(&BTreeMap::new()), Rational::integer(5));
+    }
+
+    #[test]
+    fn coefficients_in_variable() {
+        let q = p("x^2*y + x^2 + 2*x + y^2");
+        let cs = q.coefficients_in(Var::new("x"));
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0], p("y^2"));
+        assert_eq!(cs[1], p("2"));
+        assert_eq!(cs[2], p("y + 1"));
+    }
+
+    #[test]
+    fn content() {
+        assert_eq!(p("6*x + 9*y").content(), Rational::integer(3));
+        assert_eq!(p("x/2 + 3/4").content(), Rational::new(1, 4));
+        assert_eq!(Poly::zero().content(), Rational::zero());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["x^2 - 1", "x^2 + 2*x*y + y^2", "-x + 1/2", "0", "3"] {
+            let q = p(s);
+            assert_eq!(Poly::parse(&q.to_string()).unwrap(), q);
+        }
+        assert_eq!(p("y + x^2").to_string(), "x^2 + y");
+    }
+
+    #[test]
+    fn naive_op_count() {
+        // x^2 + 2*x*y + y^2: muls = 1 (x^2) + (1+1) (2*x*y) + 1 (y^2) = 4, adds = 2
+        let (muls, adds) = p("x^2 + 2*x*y + y^2").naive_op_count();
+        assert_eq!(adds, 2);
+        assert_eq!(muls, 4);
+        assert_eq!(p("7").naive_op_count(), (0, 0));
+    }
+
+    #[test]
+    fn map_coefficients() {
+        let doubled = p("x + y").map_coefficients(|c| c * &Rational::integer(2));
+        assert_eq!(doubled, p("2*x + 2*y"));
+        let zeroed = p("x + y").map_coefficients(|_| Rational::zero());
+        assert!(zeroed.is_zero());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_ring_axioms(
+            a in -5_i64..5, b in -5_i64..5, c in -5_i64..5,
+            d in -5_i64..5, e in -5_i64..5, f in -5_i64..5,
+        ) {
+            // Build small random polynomials in x, y.
+            let p1 = Poly::from_terms(vec![
+                (Monomial::var(Var::new("x"), 1), Rational::integer(a)),
+                (Monomial::var(Var::new("y"), 2), Rational::integer(b)),
+                (Monomial::one(), Rational::integer(c)),
+            ]);
+            let p2 = Poly::from_terms(vec![
+                (Monomial::var(Var::new("x"), 2), Rational::integer(d)),
+                (Monomial::var(Var::new("y"), 1), Rational::integer(e)),
+                (Monomial::one(), Rational::integer(f)),
+            ]);
+            prop_assert_eq!(p1.add(&p2), p2.add(&p1));
+            prop_assert_eq!(p1.mul(&p2), p2.mul(&p1));
+            prop_assert_eq!(p1.mul(&p2.add(&p1)), p1.mul(&p2).add(&p1.mul(&p1)));
+            prop_assert_eq!(p1.sub(&p1), Poly::zero());
+        }
+
+        #[test]
+        fn prop_eval_homomorphism(a in -4_i64..4, b in -4_i64..4, x in -3_i64..3, y in -3_i64..3) {
+            let p1 = Poly::parse(&format!("{a}*x^2 + y")).unwrap();
+            let p2 = Poly::parse(&format!("x + {b}*y")).unwrap();
+            let mut asn = BTreeMap::new();
+            asn.insert(Var::new("x"), Rational::integer(x));
+            asn.insert(Var::new("y"), Rational::integer(y));
+            prop_assert_eq!(p1.add(&p2).eval(&asn), &p1.eval(&asn) + &p2.eval(&asn));
+            prop_assert_eq!(p1.mul(&p2).eval(&asn), &p1.eval(&asn) * &p2.eval(&asn));
+        }
+    }
+}

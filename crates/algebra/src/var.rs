@@ -1,0 +1,217 @@
+//! Interned symbolic variables.
+//!
+//! Variables are interned process-wide so that a variable called `x` in a
+//! library element's polynomial and a variable called `x` in a target-code
+//! polynomial are the same symbol. [`Var`] is a cheap `Copy` handle;
+//! [`VarSet`] is an *ordered* collection of variables used to express
+//! orderings such as Maple's `[x, y, p]` argument to `simplify`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide variable interner.
+fn interner() -> &'static Mutex<Vec<String>> {
+    static INTERNER: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A symbolic variable, interned by name.
+///
+/// ```
+/// use symmap_algebra::var::Var;
+///
+/// let x1 = Var::new("x");
+/// let x2 = Var::new("x");
+/// assert_eq!(x1, x2);
+/// assert_eq!(x1.name(), "x");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// Interns `name` and returns its handle. Calling this twice with the same
+    /// name yields equal handles.
+    pub fn new(name: &str) -> Self {
+        let mut table = interner().lock().expect("variable interner poisoned");
+        if let Some(idx) = table.iter().position(|n| n == name) {
+            Var(idx as u32)
+        } else {
+            table.push(name.to_string());
+            Var((table.len() - 1) as u32)
+        }
+    }
+
+    /// The variable's textual name.
+    pub fn name(&self) -> String {
+        interner().lock().expect("variable interner poisoned")[self.0 as usize].clone()
+    }
+
+    /// The raw interner index. Stable for the lifetime of the process.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// An *ordered* list of distinct variables.
+///
+/// The order is significant: it defines variable precedence for lexicographic
+/// and elimination monomial orders (first = most significant), mirroring the
+/// variable-list argument of Maple's `simplify` and `convert(..., 'horner')`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VarSet {
+    vars: Vec<Var>,
+}
+
+impl VarSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        VarSet { vars: Vec::new() }
+    }
+
+    /// Creates a set from variable names, in the given precedence order.
+    pub fn from_names(names: &[&str]) -> Self {
+        let mut set = VarSet::new();
+        for n in names {
+            set.push(Var::new(n));
+        }
+        set
+    }
+
+    /// Appends a variable if not already present; returns `true` if added.
+    pub fn push(&mut self, v: Var) -> bool {
+        if self.vars.contains(&v) {
+            false
+        } else {
+            self.vars.push(v);
+            true
+        }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Returns `true` if the set contains `v`.
+    pub fn contains(&self, v: Var) -> bool {
+        self.vars.contains(&v)
+    }
+
+    /// Position of `v` in the precedence order, if present.
+    pub fn position(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+
+    /// Iterates over the variables in precedence order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        self.vars.iter().copied()
+    }
+
+    /// The variables as a slice, in precedence order.
+    pub fn as_slice(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Builds the union of two sets, keeping `self`'s order first.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let mut out = self.clone();
+        for v in other.iter() {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Returns the set of variables present in `self` but not in `other`
+    /// (order preserved).
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        let other_set: BTreeSet<Var> = other.iter().collect();
+        VarSet { vars: self.vars.iter().copied().filter(|v| !other_set.contains(v)).collect() }
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    fn from_iter<T: IntoIterator<Item = Var>>(iter: T) -> Self {
+        let mut s = VarSet::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Var::new("alpha_test_var");
+        let b = Var::new("alpha_test_var");
+        let c = Var::new("beta_test_var");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "alpha_test_var");
+        assert_eq!(c.name(), "beta_test_var");
+    }
+
+    #[test]
+    fn varset_preserves_order_and_dedups() {
+        let mut s = VarSet::from_names(&["x", "y"]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.push(Var::new("x")));
+        assert!(s.push(Var::new("z")));
+        assert_eq!(s.position(Var::new("x")), Some(0));
+        assert_eq!(s.position(Var::new("z")), Some(2));
+        assert_eq!(s.to_string(), "[x, y, z]");
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = VarSet::from_names(&["x", "y"]);
+        let b = VarSet::from_names(&["y", "z"]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.position(Var::new("z")), Some(2));
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(Var::new("x")));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: VarSet = [Var::new("x"), Var::new("y"), Var::new("x")].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = VarSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.to_string(), "[]");
+    }
+}

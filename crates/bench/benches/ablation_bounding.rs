@@ -1,0 +1,38 @@
+//! Ablation — branch-and-bound cost pruning on vs. off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symmap_core::decompose::{Mapper, MapperConfig};
+use symmap_libchar::catalog;
+use symmap_mp3::imdct;
+use symmap_platform::machine::Badge4;
+
+fn bench(c: &mut Criterion) {
+    let badge = Badge4::new();
+    let library = catalog::full_catalog(&badge);
+    let target = imdct::imdct_polynomial(0, 36);
+    let bounded = Mapper::new(&library, MapperConfig::default());
+    let unbounded = Mapper::new(
+        &library,
+        MapperConfig { use_bounding: false, ..MapperConfig::default() },
+    );
+    c.bench_function("ablation/bounding_on", |b| b.iter(|| bounded.map_polynomial(&target).unwrap()));
+    c.bench_function("ablation/bounding_off", |b| b.iter(|| unbounded.map_polynomial(&target).unwrap()));
+    let on = bounded.map_polynomial(&target).unwrap();
+    let off = unbounded.map_polynomial(&target).unwrap();
+    println!(
+        "\nbounding ablation: nodes explored {} (bounded) vs {} (unbounded); same cost: {}\n",
+        on.nodes_explored,
+        off.nodes_explored,
+        on.cost.cycles == off.cost.cycles
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

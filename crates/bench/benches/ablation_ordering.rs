@@ -1,0 +1,40 @@
+//! Ablation — monomial-order sensitivity of the Gröbner/normal-form kernel
+//! that powers simplification modulo side relations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symmap_algebra::groebner::groebner_basis;
+use symmap_algebra::ordering::MonomialOrder;
+use symmap_algebra::poly::Poly;
+
+fn generators() -> Vec<Poly> {
+    vec![
+        Poly::parse("x^2 + y^2 + z^2 - 1").unwrap(),
+        Poly::parse("x*y - z").unwrap(),
+        Poly::parse("x - y + z^2").unwrap(),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let gens = generators();
+    for (name, order) in [
+        ("lex", MonomialOrder::lex(&["x", "y", "z"])),
+        ("grlex", MonomialOrder::grlex(&["x", "y", "z"])),
+        ("grevlex", MonomialOrder::grevlex(&["x", "y", "z"])),
+    ] {
+        c.bench_function(&format!("ablation/groebner_{name}"), |b| {
+            b.iter(|| groebner_basis(&gens, &order))
+        });
+        let gb = groebner_basis(&gens, &order);
+        println!("order {name}: basis size {}, reductions {}", gb.polys.len(), gb.reductions);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation — §3.2's claim that larger formulated polynomials (more loop
+//! unrolling) improve the chance of matching a complex library element:
+//! sweep the unroll depth of a dot-product kernel and map each result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symmap_core::decompose::{Mapper, MapperConfig};
+use symmap_ir::ast::Function;
+use symmap_ir::polyextract::extract_polynomial;
+use symmap_libchar::{Library, LibraryElement};
+
+fn kernel(taps: usize) -> Function {
+    let params: Vec<String> = (0..taps)
+        .flat_map(|k| vec![format!("c_{k}"), format!("y_{k}")])
+        .collect();
+    let source = format!(
+        "dot({}) {{ acc = 0; for (k = 0; k < {taps}; k = k + 1) {{ acc = acc + c[k] * y[k]; }} return acc; }}",
+        params.join(", ")
+    );
+    Function::parse(&source).expect("valid kernel")
+}
+
+fn library(taps: usize) -> Library {
+    let mut lib = Library::new("dot-library");
+    let terms: Vec<String> = (0..taps).map(|k| format!("c_{k}*y_{k}")).collect();
+    lib.push(
+        LibraryElement::builder("dot_full", "d")
+            .polynomial(symmap_algebra::poly::Poly::parse(&terms.join(" + ")).unwrap())
+            .cycles(3 * taps as u64)
+            .accuracy(1e-9)
+            .build()
+            .unwrap(),
+    );
+    lib
+}
+
+fn bench(c: &mut Criterion) {
+    for taps in [2_usize, 4, 8] {
+        let f = kernel(taps);
+        let lib = library(taps);
+        let mapper = Mapper::new(&lib, MapperConfig::default());
+        c.bench_function(&format!("ablation/unroll_{taps}_taps"), |b| {
+            b.iter(|| {
+                let poly = extract_polynomial(&f).unwrap();
+                mapper.map_polynomial(&poly).unwrap()
+            })
+        });
+        let poly = extract_polynomial(&f).unwrap();
+        let solution = mapper.map_polynomial(&poly).unwrap();
+        println!(
+            "unroll depth {taps}: target terms {}, fully mapped: {}",
+            poly.num_terms(),
+            solution.is_complete()
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

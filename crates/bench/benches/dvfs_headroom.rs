@@ -1,0 +1,30 @@
+//! §4/§5 — real-time headroom of the optimized decoder and the extra energy
+//! saving available from frequency/voltage scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symmap_bench::{measure_version, QUICK_STREAM_FRAMES};
+use symmap_core::report;
+use symmap_platform::machine::Badge4;
+
+fn bench(c: &mut Criterion) {
+    let badge = Badge4::new();
+    let version = measure_version("IH + IPP SubBand & IMDCT", &badge, QUICK_STREAM_FRAMES);
+    c.bench_function("dvfs/energy_saving_sweep", |b| {
+        b.iter(|| {
+            badge
+                .dvfs()
+                .energy_saving_factor(version.frame_profile.total_cycles(), symmap_mp3::types::frame_duration_s())
+        })
+    });
+    println!("\n{}", report::render_dvfs(&version, QUICK_STREAM_FRAMES, &badge));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 1 — execution time of the float/fixed/IPP SubBandSynthesis and IMDCT
+//! library elements, characterized on the Badge4 model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symmap_core::report;
+use symmap_libchar::catalog::{self, names};
+use symmap_platform::machine::Badge4;
+
+fn bench(c: &mut Criterion) {
+    let badge = Badge4::new();
+    c.bench_function("table1/characterize_full_catalog", |b| {
+        b.iter(|| catalog::full_catalog(&badge))
+    });
+    c.bench_function("table1/render", |b| b.iter(|| report::render_table1(&badge)));
+
+    // Print the reproduced table once so the bench log carries the artifact.
+    let table = report::render_table1(&badge);
+    println!("\n{table}");
+    let full = catalog::full_catalog(&badge);
+    let ratio = |float: &str, other: &str| {
+        full.element(float).unwrap().cycles() as f64 / full.element(other).unwrap().cycles() as f64
+    };
+    println!(
+        "subband ratios (paper: 1 / 92 / 479): 1 / {:.0} / {:.0}",
+        ratio(names::FLOAT_SUBBAND, names::FIXED_SUBBAND),
+        ratio(names::FLOAT_SUBBAND, names::IPP_SUBBAND)
+    );
+    println!(
+        "imdct ratios   (paper: 1 / 27 / 1898): 1 / {:.0} / {:.0}\n",
+        ratio(names::FLOAT_IMDCT, names::FIXED_IMDCT),
+        ratio(names::FLOAT_IMDCT, names::IPP_IMDCT)
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 5. MP3 Profile after LM & IH & IPP mapping
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symmap_bench::{measure_version, QUICK_STREAM_FRAMES};
+use symmap_core::report;
+use symmap_platform::machine::Badge4;
+
+fn bench(c: &mut Criterion) {
+    let badge = Badge4::new();
+    c.bench_function("table5_full_profile/measure", |b| {
+        b.iter(|| measure_version("IH + IPP SubBand & IMDCT", &badge, QUICK_STREAM_FRAMES))
+    });
+    let version = measure_version("IH + IPP SubBand & IMDCT", &badge, QUICK_STREAM_FRAMES);
+    println!("\n{}", report::render_profile("Table 5. MP3 Profile after LM & IH & IPP mapping", &version));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

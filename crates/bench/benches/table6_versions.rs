@@ -1,0 +1,26 @@
+//! Table 6 — performance and energy of every decoder version produced by the
+//! mapping flow, plus the hand-optimized IPP MP3 reference point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symmap_bench::{table6_versions, QUICK_STREAM_FRAMES};
+use symmap_core::report;
+use symmap_platform::machine::Badge4;
+
+fn bench(c: &mut Criterion) {
+    let badge = Badge4::new();
+    c.bench_function("table6/all_versions", |b| {
+        b.iter(|| table6_versions(&badge, QUICK_STREAM_FRAMES))
+    });
+    let versions = table6_versions(&badge, QUICK_STREAM_FRAMES);
+    println!("\n{}", report::render_table6(&versions));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

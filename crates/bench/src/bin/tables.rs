@@ -1,0 +1,72 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p symmap-bench --bin tables --release            # everything
+//! cargo run -p symmap-bench --bin tables --release -- table6  # one artifact
+//! ```
+//!
+//! Valid artifact names: `table1`, `eq1`, `maple`, `table3`, `table4`,
+//! `table5`, `table6`, `figure1`, `dvfs`.
+
+use symmap_bench::{table6_versions, FULL_STREAM_FRAMES};
+use symmap_core::report;
+use symmap_platform::machine::Badge4;
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let wants = |name: &str| all || which.iter().any(|w| w == name);
+    let badge = Badge4::new();
+
+    if wants("figure1") {
+        println!("{}", report::render_figure1(&badge));
+    }
+    if wants("table1") {
+        println!("{}", report::render_table1(&badge));
+    }
+    if wants("eq1") {
+        println!("{}", report::render_eq1());
+    }
+    if wants("maple") {
+        println!("{}", report::render_maple_examples());
+    }
+
+    let needs_versions = wants("table3") || wants("table4") || wants("table5") || wants("table6") || wants("dvfs");
+    if !needs_versions {
+        return;
+    }
+
+    let frames = if std::env::var("SYMMAP_QUICK").is_ok() {
+        symmap_bench::QUICK_STREAM_FRAMES
+    } else {
+        FULL_STREAM_FRAMES
+    };
+    eprintln!("measuring {} code versions over {frames} frames ...", 7);
+    let versions = table6_versions(&badge, frames);
+
+    if wants("table3") {
+        println!("{}", report::render_profile("Table 3. Original MP3 Profile", &versions[0]));
+    }
+    if wants("table4") {
+        println!(
+            "{}",
+            report::render_profile("Table 4. MP3 Profile after LM & IH mapping", &versions[3])
+        );
+    }
+    if wants("table5") {
+        println!(
+            "{}",
+            report::render_profile("Table 5. MP3 Profile after LM & IH & IPP mapping", &versions[5])
+        );
+        for line in &versions[5].mapping_summary {
+            println!("  mapped: {line}");
+        }
+        println!();
+    }
+    if wants("table6") {
+        println!("{}", report::render_table6(&versions));
+    }
+    if wants("dvfs") {
+        println!("{}", report::render_dvfs(&versions[5], frames, &badge));
+    }
+}

@@ -1,0 +1,93 @@
+//! # symmap-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! DAC 2002 evaluation on the simulated Badge4.
+//!
+//! Two entry points:
+//!
+//! * `cargo run -p symmap-bench --bin tables --release` prints the
+//!   reproductions of Table 1, Equation 1, the §3.3 Maple examples, Tables
+//!   3–6, Figure 1 and the DVFS headroom analysis (pass a table name to print
+//!   only one).
+//! * `cargo bench` runs the Criterion benchmarks, one per table/figure plus
+//!   the four ablations listed in `DESIGN.md`.
+//!
+//! The helpers here are shared between the benches and the `tables` binary.
+
+use symmap_core::pipeline::{table6_libraries, CodeVersion, OptimizationPipeline};
+use symmap_libchar::catalog;
+use symmap_mp3::decoder::KernelSet;
+use symmap_platform::machine::Badge4;
+
+/// Number of frames in the measured stream for the quick (bench) runs.
+pub const QUICK_STREAM_FRAMES: usize = 4;
+/// Number of frames used by the `tables` binary (the paper's stream is about
+/// 194 frames: 503.92 s of original decode at 2.59 s per frame).
+pub const FULL_STREAM_FRAMES: usize = 194;
+
+/// Builds the pipeline for a named Table 6 configuration.
+pub fn pipeline_for(name: &str, badge: &Badge4, frames: usize) -> Option<OptimizationPipeline> {
+    table6_libraries(badge)
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, lib)| OptimizationPipeline::new(badge.clone(), lib).with_stream_frames(frames))
+}
+
+/// Measures every code version of Table 6 (six mapper-produced versions plus
+/// the hand-optimized IPP MP3 reference point).
+pub fn table6_versions(badge: &Badge4, frames: usize) -> Vec<CodeVersion> {
+    let mut versions = Vec::new();
+    for (name, library) in table6_libraries(badge) {
+        let pipeline =
+            OptimizationPipeline::new(badge.clone(), library).with_stream_frames(frames);
+        if name == "Original" {
+            versions.push(pipeline.measure("Original", KernelSet::reference()));
+        } else {
+            versions.push(pipeline.run(&name));
+        }
+    }
+    let pipeline = OptimizationPipeline::new(badge.clone(), catalog::full_catalog(badge))
+        .with_stream_frames(frames);
+    versions.push(pipeline.measure("IPP MP3 (hand optimized)", KernelSet::ipp_complete()));
+    versions
+}
+
+/// Measures a single named version (used by the per-table benches).
+pub fn measure_version(name: &str, badge: &Badge4, frames: usize) -> CodeVersion {
+    let pipeline = pipeline_for(name, badge, frames)
+        .unwrap_or_else(|| {
+            OptimizationPipeline::new(badge.clone(), catalog::full_catalog(badge))
+                .with_stream_frames(frames)
+        });
+    if name == "Original" {
+        pipeline.measure("Original", KernelSet::reference())
+    } else {
+        pipeline.run(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_lookup_knows_the_table6_names() {
+        let badge = Badge4::new();
+        assert!(pipeline_for("Original", &badge, 1).is_some());
+        assert!(pipeline_for("IH Library", &badge, 1).is_some());
+        assert!(pipeline_for("No Such Version", &badge, 1).is_none());
+    }
+
+    #[test]
+    fn quick_table6_has_seven_rows_in_order() {
+        let badge = Badge4::new();
+        let versions = table6_versions(&badge, 1);
+        assert_eq!(versions.len(), 7);
+        assert_eq!(versions[0].name, "Original");
+        assert!(versions.last().unwrap().name.contains("IPP MP3"));
+        // Monotone improvement from Original through the best automatic mapping.
+        let original = &versions[0];
+        let best_auto = &versions[5];
+        assert!(best_auto.perf_factor_vs(original) > 50.0);
+    }
+}

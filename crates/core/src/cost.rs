@@ -1,0 +1,219 @@
+//! Cost and accuracy bookkeeping for candidate mappings.
+//!
+//! The branch-and-bound search of Table 2 needs a *bounding function*: the
+//! paper uses performance and energy. A candidate mapping's cost is the sum of
+//! the costs of the library elements it invokes plus the cost of evaluating
+//! whatever residual arithmetic is left in plain multiplies and adds on the
+//! target processor.
+
+use symmap_algebra::poly::Poly;
+use symmap_algebra::var::VarSet;
+use symmap_libchar::Library;
+use symmap_platform::cost::{CostModel, InstructionClass};
+
+/// Performance/energy cost of a candidate mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated processor cycles.
+    pub cycles: u64,
+    /// Estimated energy in nanojoules.
+    pub energy_nj: f64,
+}
+
+impl CostEstimate {
+    /// The zero cost.
+    pub fn zero() -> Self {
+        CostEstimate { cycles: 0, energy_nj: 0.0 }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &CostEstimate) -> CostEstimate {
+        CostEstimate {
+            cycles: self.cycles + other.cycles,
+            energy_nj: self.energy_nj + other.energy_nj,
+        }
+    }
+
+    /// Whether this cost is strictly better (fewer cycles) than `other`.
+    pub fn better_than(&self, other: &CostEstimate) -> bool {
+        self.cycles < other.cycles
+    }
+}
+
+/// Evaluates candidate mappings: element invocation costs plus residual
+/// software cost on the target core.
+#[derive(Debug, Clone)]
+pub struct CostEvaluator {
+    cost_model: CostModel,
+    /// Energy charged per cycle of residual software, in nanojoules (derived
+    /// from the Badge4 core power at the maximum operating point).
+    energy_per_cycle_nj: f64,
+}
+
+impl CostEvaluator {
+    /// Creates an evaluator for the SA-1110 cost model.
+    pub fn new() -> Self {
+        CostEvaluator { cost_model: CostModel::sa1110(), energy_per_cycle_nj: 2.1 }
+    }
+
+    /// Uses a custom instruction cost model (ablation support).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Cost of invoking a named library element once.
+    pub fn element_cost(&self, library: &Library, name: &str) -> CostEstimate {
+        match library.element(name) {
+            Some(e) => CostEstimate { cycles: e.cycles(), energy_nj: e.energy_nj() },
+            None => CostEstimate::zero(),
+        }
+    }
+
+    /// Cost of evaluating a residual polynomial in plain software. Terms made
+    /// only of library-output symbols are already paid for by the element
+    /// costs; every multiplication/addition over *program* variables is
+    /// charged at the software-float rate when `float_residual` is true (the
+    /// original code operates on doubles) or at integer MAC rate otherwise.
+    pub fn residual_cost(
+        &self,
+        residual: &Poly,
+        symbols: &VarSet,
+        float_residual: bool,
+    ) -> CostEstimate {
+        let mut program_ops: u64 = 0;
+        for (m, _) in residual.iter() {
+            let program_degree: u32 = m
+                .iter()
+                .filter(|(v, _)| !symbols.contains(*v))
+                .map(|(_, e)| e)
+                .sum();
+            // One multiply per degree, one add per term, one multiply for a
+            // non-trivial coefficient.
+            program_ops += program_degree as u64 + 1;
+        }
+        let per_op = if float_residual {
+            self.cost_model.cycles_for(InstructionClass::FloatMulSoft)
+                + self.cost_model.cycles_for(InstructionClass::FloatAddSoft)
+        } else {
+            self.cost_model.cycles_for(InstructionClass::IntMac) * 2
+        };
+        let cycles = program_ops * per_op;
+        CostEstimate { cycles, energy_nj: cycles as f64 * self.energy_per_cycle_nj }
+    }
+
+    /// An optimistic lower bound on the remaining cost of a partial mapping —
+    /// used to prune the branch-and-bound tree. Assumes every remaining
+    /// program-variable term could be covered by the cheapest library element.
+    pub fn lower_bound(&self, residual: &Poly, symbols: &VarSet, cheapest_element: u64) -> u64 {
+        let has_program_terms = residual.iter().any(|(m, _)| {
+            m.iter().any(|(v, _)| !symbols.contains(v)) && !m.is_one()
+        });
+        if has_program_terms {
+            cheapest_element
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for CostEvaluator {
+    fn default() -> Self {
+        CostEvaluator::new()
+    }
+}
+
+/// Combines the accuracy bounds of the elements used by a mapping into a
+/// single worst-case estimate (errors add in the worst case).
+pub fn combined_accuracy(library: &Library, used: &[(String, u32)]) -> f64 {
+    used.iter()
+        .map(|(name, times)| {
+            library.element(name).map(|e| e.accuracy() * *times as f64).unwrap_or(0.0)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmap_libchar::LibraryElement;
+
+    fn library() -> Library {
+        let mut lib = Library::new("test");
+        lib.push(
+            LibraryElement::builder("cheap", "c")
+                .polynomial(Poly::parse("x + y").unwrap())
+                .cycles(4)
+                .energy_nj(2.0)
+                .accuracy(1e-6)
+                .build()
+                .unwrap(),
+        );
+        lib.push(
+            LibraryElement::builder("dear", "d")
+                .polynomial(Poly::parse("x * y").unwrap())
+                .cycles(400)
+                .energy_nj(150.0)
+                .accuracy(1e-12)
+                .build()
+                .unwrap(),
+        );
+        lib
+    }
+
+    #[test]
+    fn element_cost_lookup() {
+        let evaluator = CostEvaluator::new();
+        let lib = library();
+        assert_eq!(evaluator.element_cost(&lib, "cheap").cycles, 4);
+        assert_eq!(evaluator.element_cost(&lib, "missing").cycles, 0);
+    }
+
+    #[test]
+    fn residual_cost_ignores_symbol_only_terms() {
+        let evaluator = CostEvaluator::new();
+        let symbols = VarSet::from_names(&["s", "t"]);
+        let pure_symbols = Poly::parse("s^2 + s*t").unwrap();
+        let mixed = Poly::parse("s^2 + x*y").unwrap();
+        let cs = evaluator.residual_cost(&pure_symbols, &symbols, true);
+        let cm = evaluator.residual_cost(&mixed, &symbols, true);
+        assert!(cm.cycles > cs.cycles);
+    }
+
+    #[test]
+    fn float_residual_costs_more_than_fixed() {
+        let evaluator = CostEvaluator::new();
+        let symbols = VarSet::new();
+        let p = Poly::parse("x^2*y + 3*x + 1").unwrap();
+        let float = evaluator.residual_cost(&p, &symbols, true);
+        let fixed = evaluator.residual_cost(&p, &symbols, false);
+        assert!(float.cycles > 10 * fixed.cycles);
+        assert!(float.energy_nj > fixed.energy_nj);
+    }
+
+    #[test]
+    fn lower_bound_zero_when_fully_mapped() {
+        let evaluator = CostEvaluator::new();
+        let symbols = VarSet::from_names(&["s"]);
+        assert_eq!(evaluator.lower_bound(&Poly::parse("s^2 + 3").unwrap(), &symbols, 100), 0);
+        assert_eq!(evaluator.lower_bound(&Poly::parse("s + x*y").unwrap(), &symbols, 100), 100);
+    }
+
+    #[test]
+    fn combined_accuracy_sums_worst_case() {
+        let lib = library();
+        let acc = combined_accuracy(&lib, &[("cheap".into(), 2), ("dear".into(), 1)]);
+        assert!((acc - (2e-6 + 1e-12)).abs() < 1e-18);
+        assert_eq!(combined_accuracy(&lib, &[]), 0.0);
+    }
+
+    #[test]
+    fn cost_estimate_arithmetic() {
+        let a = CostEstimate { cycles: 10, energy_nj: 1.0 };
+        let b = CostEstimate { cycles: 20, energy_nj: 2.0 };
+        assert_eq!(a.add(&b).cycles, 30);
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+        assert_eq!(CostEstimate::zero().cycles, 0);
+    }
+}

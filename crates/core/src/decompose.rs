@@ -1,0 +1,399 @@
+//! The `Decompose` branch-and-bound library-mapping algorithm (Table 2).
+//!
+//! Mapping a target polynomial `S` into a library `L` is treated as
+//! *simplifying `S` modulo the side relations* contributed by a subset of
+//! library elements. The search explores subsets of elements; at every node
+//! it reduces the target modulo the chosen relations, prices the result
+//! (element invocations + residual software), and keeps the best solution with
+//! sufficient accuracy. Performance is the bounding function that prunes the
+//! tree, and the expression-tree manipulations (factorization, Horner form)
+//! guide which elements are tried first — exactly the roles the paper assigns
+//! them.
+
+use symmap_algebra::factor::factor;
+use symmap_algebra::horner::horner_form_auto;
+use symmap_algebra::poly::Poly;
+use symmap_algebra::simplify::{default_var_order, simplify_modulo, SideRelations};
+use symmap_algebra::var::VarSet;
+use symmap_libchar::{Library, LibraryElement};
+
+use crate::cost::{combined_accuracy, CostEstimate, CostEvaluator};
+use crate::error::CoreError;
+use crate::mapping::MappingSolution;
+
+/// Tuning knobs of the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct MapperConfig {
+    /// Maximum number of distinct library elements combined in one solution.
+    pub max_depth: usize,
+    /// Hard cap on explored nodes (the worst case is exponential, as the
+    /// paper notes; the cap keeps the tool interactive).
+    pub max_nodes: usize,
+    /// Accuracy tolerance: a solution is acceptable when the sum of the used
+    /// elements' error bounds stays below this.
+    pub accuracy_tolerance: f64,
+    /// Enable cost-based pruning (disable only for the ablation benches).
+    pub use_bounding: bool,
+    /// Enable guidance of the candidate order by factorization/Horner
+    /// structure (disable only for the ablation benches).
+    pub use_guidance: bool,
+    /// Whether residual (unmapped) arithmetic runs in software floating point
+    /// (true for the original double-precision code) or fixed point.
+    pub float_residual: bool,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            max_depth: 4,
+            max_nodes: 20_000,
+            accuracy_tolerance: 1e-4,
+            use_bounding: true,
+            use_guidance: true,
+            float_residual: true,
+        }
+    }
+}
+
+/// The library mapper.
+#[derive(Debug, Clone)]
+pub struct Mapper {
+    library: Library,
+    config: MapperConfig,
+    evaluator: CostEvaluator,
+}
+
+impl Mapper {
+    /// Creates a mapper over a characterized library.
+    pub fn new(library: &Library, config: MapperConfig) -> Self {
+        Mapper { library: library.clone(), config, evaluator: CostEvaluator::new() }
+    }
+
+    /// The mapper's configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Maps a target polynomial onto the library, returning the best solution
+    /// found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoCandidateElements`] when no library element
+    /// shares a variable with the target, and
+    /// [`CoreError::NoAccurateSolution`] when every candidate mapping violates
+    /// the accuracy tolerance.
+    pub fn map_polynomial(&self, target: &Poly) -> Result<MappingSolution, CoreError> {
+        let candidates = self.candidates(target);
+        if candidates.is_empty() {
+            return Err(CoreError::NoCandidateElements { target: target.to_string() });
+        }
+        let ordered = self.order_candidates(target, candidates);
+
+        let mut best: Option<MappingSolution> = None;
+        let mut nodes = 0_usize;
+        let mut chosen: Vec<&LibraryElement> = Vec::new();
+        self.explore(target, &ordered, 0, &mut chosen, &mut best, &mut nodes)?;
+
+        let mut best = best.ok_or_else(|| CoreError::NoAccurateSolution {
+            target: target.to_string(),
+            required: self.config.accuracy_tolerance,
+        })?;
+        best.nodes_explored = nodes;
+        Ok(best)
+    }
+
+    /// Elements that share at least one variable with the target.
+    fn candidates(&self, target: &Poly) -> Vec<&LibraryElement> {
+        let tvars = target.vars();
+        self.library
+            .iter()
+            .filter(|e| e.polynomial().vars().iter().any(|v| tvars.contains(v)))
+            .collect()
+    }
+
+    /// Orders candidates using the symbolic-manipulation guidelines:
+    /// elements whose polynomial shows up as a factor of the target (or of
+    /// one of its Horner coefficients) are tried first; ties are broken by
+    /// ascending cost so cheaper alternatives are reached earlier.
+    fn order_candidates<'a>(
+        &self,
+        target: &Poly,
+        mut candidates: Vec<&'a LibraryElement>,
+    ) -> Vec<&'a LibraryElement> {
+        if !self.config.use_guidance {
+            candidates.sort_by(|a, b| a.name().cmp(b.name()));
+            return candidates;
+        }
+        let factors = factor(target);
+        let horner = horner_form_auto(target);
+        let horner_expanded = horner.expand();
+        let score = |e: &LibraryElement| -> i64 {
+            let mut s = 0_i64;
+            if factors.factors.iter().any(|(f, _)| f == e.polynomial()) {
+                s -= 1_000_000;
+            }
+            if e.polynomial() == target || e.polynomial() == &horner_expanded {
+                s -= 2_000_000;
+            }
+            // Elements covering more of the target's variables first.
+            let tvars = target.vars();
+            let covered =
+                e.polynomial().vars().iter().filter(|&v| tvars.contains(v)).count() as i64;
+            s -= covered * 1_000;
+            s + e.cycles() as i64
+        };
+        candidates.sort_by_key(|e| score(e));
+        candidates
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explore<'a>(
+        &self,
+        target: &Poly,
+        candidates: &[&'a LibraryElement],
+        start: usize,
+        chosen: &mut Vec<&'a LibraryElement>,
+        best: &mut Option<MappingSolution>,
+        nodes: &mut usize,
+    ) -> Result<(), CoreError> {
+        if *nodes >= self.config.max_nodes {
+            return Ok(());
+        }
+        *nodes += 1;
+
+        let solution = self.evaluate(target, chosen)?;
+        let chosen_element_cost: u64 = solution
+            .used_elements
+            .iter()
+            .filter_map(|(n, times)| self.library.element(n).map(|e| e.cycles() * *times as u64))
+            .sum();
+
+        let acceptable = solution.is_accurate_within(self.config.accuracy_tolerance);
+        let improves = best
+            .as_ref()
+            .map(|b| solution.cost.better_than(&b.cost))
+            .unwrap_or(true);
+        if acceptable && improves {
+            *best = Some(solution);
+        }
+
+        if chosen.len() >= self.config.max_depth {
+            return Ok(());
+        }
+        // Bounding: the element invocations already selected are a lower bound
+        // on any descendant's cost; prune when they cannot beat the incumbent.
+        if self.config.use_bounding {
+            if let Some(b) = best.as_ref() {
+                if chosen_element_cost >= b.cost.cycles {
+                    return Ok(());
+                }
+            }
+        }
+        for i in start..candidates.len() {
+            let candidate = candidates[i];
+            // Two alternatives with the same output symbol (e.g. the float,
+            // fixed and IPP versions of the same function) are mutually
+            // exclusive within one solution.
+            if chosen.iter().any(|e| e.output_symbol() == candidate.output_symbol()) {
+                continue;
+            }
+            chosen.push(candidate);
+            self.explore(target, candidates, i + 1, chosen, best, nodes)?;
+            chosen.pop();
+        }
+        Ok(())
+    }
+
+    /// Prices the mapping induced by a set of chosen elements.
+    fn evaluate(
+        &self,
+        target: &Poly,
+        chosen: &[&LibraryElement],
+    ) -> Result<MappingSolution, CoreError> {
+        let mut relations = SideRelations::new();
+        for e in chosen {
+            relations
+                .push(e.output_symbol(), e.polynomial().clone())
+                .map_err(CoreError::from)?;
+        }
+        let order_names = default_var_order(target, &relations);
+        let order_refs: Vec<&str> = order_names.iter().map(String::as_str).collect();
+        let rewritten = simplify_modulo(target, &relations, &order_refs)?;
+
+        let symbols: VarSet = relations.symbols();
+        let mut used_elements: Vec<(String, u32)> = Vec::new();
+        for e in chosen {
+            let sym = symmap_algebra::var::Var::new(e.output_symbol());
+            let occurrences: u32 = rewritten
+                .iter()
+                .map(|(m, _)| m.degree_of(sym))
+                .sum();
+            if occurrences > 0 {
+                used_elements.push((e.name().to_string(), occurrences));
+            }
+        }
+
+        let mut cost = CostEstimate::zero();
+        for (name, times) in &used_elements {
+            let unit = self.evaluator.element_cost(&self.library, name);
+            cost = cost.add(&CostEstimate {
+                cycles: unit.cycles * *times as u64,
+                energy_nj: unit.energy_nj * *times as f64,
+            });
+        }
+        cost = cost.add(&self.evaluator.residual_cost(
+            &rewritten,
+            &symbols,
+            self.config.float_residual,
+        ));
+        let accuracy = combined_accuracy(&self.library, &used_elements);
+
+        Ok(MappingSolution {
+            target: target.clone(),
+            rewritten,
+            used_elements,
+            relations,
+            cost,
+            accuracy,
+            nodes_explored: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmap_libchar::LibraryElement;
+
+    fn element(name: &str, symbol: &str, poly: &str, cycles: u64, accuracy: f64) -> LibraryElement {
+        LibraryElement::builder(name, symbol)
+            .polynomial(Poly::parse(poly).unwrap())
+            .cycles(cycles)
+            .energy_nj(cycles as f64)
+            .accuracy(accuracy)
+            .build()
+            .unwrap()
+    }
+
+    fn p(s: &str) -> Poly {
+        Poly::parse(s).unwrap()
+    }
+
+    #[test]
+    fn maps_perfect_square_onto_sum_element() {
+        let mut lib = Library::new("t");
+        lib.push(element("sum", "s", "x + y", 4, 1e-9));
+        let mapper = Mapper::new(&lib, MapperConfig::default());
+        let sol = mapper.map_polynomial(&p("x^2 + 2*x*y + y^2")).unwrap();
+        assert!(sol.uses_element("sum"));
+        assert!(sol.verify());
+        assert!(sol.is_complete());
+        assert_eq!(sol.rewritten, p("s^2"));
+    }
+
+    #[test]
+    fn picks_cheapest_accurate_alternative() {
+        // Three implementations of the same function (like float/fixed/IPP in
+        // Table 1): cheapest accurate one must win.
+        let mut lib = Library::new("t");
+        lib.push(element("impl_float", "f1", "a*b + c", 900, 1e-15));
+        lib.push(element("impl_fixed", "f1", "a*b + c", 40, 1e-7));
+        lib.push(element("impl_ipp", "f1", "a*b + c", 8, 1e-7));
+        let mapper = Mapper::new(&lib, MapperConfig::default());
+        let sol = mapper.map_polynomial(&p("a*b + c")).unwrap();
+        assert_eq!(sol.element_names(), vec!["impl_ipp"]);
+    }
+
+    #[test]
+    fn accuracy_tolerance_excludes_sloppy_elements() {
+        let mut lib = Library::new("t");
+        lib.push(element("sloppy", "f1", "a*b + c", 5, 1e-1));
+        lib.push(element("precise", "f1", "a*b + c", 200, 1e-9));
+        let mapper = Mapper::new(
+            &lib,
+            MapperConfig { accuracy_tolerance: 1e-6, ..MapperConfig::default() },
+        );
+        let sol = mapper.map_polynomial(&p("a*b + c")).unwrap();
+        assert_eq!(sol.element_names(), vec!["precise"]);
+    }
+
+    #[test]
+    fn combines_two_elements() {
+        // x^2 - y^2 + x*y maps onto sum*diff + prod.
+        let mut lib = Library::new("t");
+        lib.push(element("sum", "s", "x + y", 3, 1e-9));
+        lib.push(element("diff", "d", "x - y", 3, 1e-9));
+        lib.push(element("prod", "q", "x*y", 5, 1e-9));
+        let mapper = Mapper::new(&lib, MapperConfig::default());
+        let sol = mapper.map_polynomial(&p("x^2 - y^2 + x*y")).unwrap();
+        assert!(sol.verify());
+        assert!(sol.is_complete(), "rewritten {}", sol.rewritten);
+        assert!(sol.used_elements.len() >= 2);
+    }
+
+    #[test]
+    fn no_candidates_is_an_error() {
+        let mut lib = Library::new("t");
+        lib.push(element("sum", "s", "a + b", 3, 1e-9));
+        let mapper = Mapper::new(&lib, MapperConfig::default());
+        let err = mapper.map_polynomial(&p("u^2 + v")).unwrap_err();
+        assert!(matches!(err, CoreError::NoCandidateElements { .. }));
+    }
+
+    #[test]
+    fn residual_left_when_library_only_partially_covers() {
+        let mut lib = Library::new("t");
+        lib.push(element("sum", "s", "x + y", 3, 1e-9));
+        let mapper = Mapper::new(&lib, MapperConfig::default());
+        let sol = mapper.map_polynomial(&p("x^2 + 2*x*y + y^2 + z^3")).unwrap();
+        assert!(sol.uses_element("sum"));
+        assert!(!sol.is_complete());
+        assert!(sol.verify());
+    }
+
+    #[test]
+    fn imdct_line_maps_onto_mac_chain() {
+        // The paper's earlier work maps IMDCT lines onto MACs; with a MAC-style
+        // element (a linear form) the full 4-tap line maps completely.
+        let mut lib = Library::new("t");
+        lib.push(element("dot4", "m", "c0*y0 + c1*y1 + c2*y2 + c3*y3", 12, 1e-8));
+        let mapper = Mapper::new(&lib, MapperConfig::default());
+        let sol = mapper.map_polynomial(&p("c0*y0 + c1*y1 + c2*y2 + c3*y3")).unwrap();
+        assert_eq!(sol.rewritten, p("m"));
+        assert!(sol.is_complete());
+    }
+
+    #[test]
+    fn bounding_and_guidance_do_not_change_the_winner() {
+        let mut lib = Library::new("t");
+        lib.push(element("sum", "s", "x + y", 3, 1e-9));
+        lib.push(element("diff", "d", "x - y", 3, 1e-9));
+        lib.push(element("prod", "q", "x*y", 5, 1e-9));
+        lib.push(element("sq_x", "sx", "x^2", 4, 1e-9));
+        let target = p("x^2 - y^2");
+        let full = Mapper::new(&lib, MapperConfig::default()).map_polynomial(&target).unwrap();
+        let plain = Mapper::new(
+            &lib,
+            MapperConfig { use_bounding: false, use_guidance: false, ..MapperConfig::default() },
+        )
+        .map_polynomial(&target)
+        .unwrap();
+        assert_eq!(full.cost.cycles, plain.cost.cycles);
+        // Without pruning/guidance at least as many nodes are explored.
+        assert!(plain.nodes_explored >= full.nodes_explored);
+    }
+
+    #[test]
+    fn node_cap_still_returns_a_solution() {
+        let mut lib = Library::new("t");
+        for i in 0..12 {
+            lib.push(element(&format!("e{i}"), &format!("v{i}"), "x + y", 10 + i, 1e-9));
+        }
+        let mapper =
+            Mapper::new(&lib, MapperConfig { max_nodes: 5, ..MapperConfig::default() });
+        let sol = mapper.map_polynomial(&p("x^2 + 2*x*y + y^2")).unwrap();
+        assert!(sol.verify());
+        assert!(sol.nodes_explored <= 5);
+    }
+}

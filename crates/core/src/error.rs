@@ -1,0 +1,68 @@
+//! Error type of the mapping engine.
+
+use std::fmt;
+
+use symmap_algebra::AlgebraError;
+
+/// Errors produced by target-code identification and library mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The symbolic algebra engine failed (parse error, non-polynomial code, …).
+    Algebra(AlgebraError),
+    /// The library is empty or contains no element relevant to the target.
+    NoCandidateElements { target: String },
+    /// No mapping satisfied the accuracy requirement.
+    NoAccurateSolution { target: String, required: f64 },
+    /// A critical function has no registered polynomial representation.
+    UnknownFunction(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Algebra(e) => write!(f, "symbolic algebra error: {e}"),
+            CoreError::NoCandidateElements { target } => {
+                write!(f, "no library element shares variables with target `{target}`")
+            }
+            CoreError::NoAccurateSolution { target, required } => write!(
+                f,
+                "no mapping of `{target}` meets the accuracy requirement {required:e}"
+            ),
+            CoreError::UnknownFunction(name) => {
+                write!(f, "no polynomial representation registered for function `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Algebra(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for CoreError {
+    fn from(e: AlgebraError) -> Self {
+        CoreError::Algebra(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::UnknownFunction("foo".into());
+        assert!(e.to_string().contains("foo"));
+        assert!(e.source().is_none());
+        let e = CoreError::Algebra(AlgebraError::UnknownVariable("x".into()));
+        assert!(e.source().is_some());
+        let e = CoreError::NoAccurateSolution { target: "x^2".into(), required: 1e-6 };
+        assert!(e.to_string().contains("1e-6"));
+    }
+}

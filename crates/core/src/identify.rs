@@ -1,0 +1,140 @@
+//! Target code identification (§3.2).
+//!
+//! Profiling finds the performance/energy-critical procedures; each critical
+//! procedure that computes an arithmetic function is then formulated as a
+//! polynomial suitable for mapping. Procedures that are control-dominated
+//! (Huffman decoding, reordering, scale-factor unpacking) have no polynomial
+//! representation — exactly as in the paper, they are left to conventional
+//! optimization.
+
+use symmap_algebra::poly::Poly;
+use symmap_libchar::catalog;
+use symmap_mp3::{imdct, synthesis};
+use symmap_platform::profiler::Profile;
+
+use crate::error::CoreError;
+
+/// A critical procedure selected for mapping, with its polynomial formulation.
+#[derive(Debug, Clone)]
+pub struct TargetFunction {
+    /// The function's name as it appears in the profile.
+    pub name: String,
+    /// Share of execution time in the profile that selected it.
+    pub percent: f64,
+    /// Polynomial representation of the function's arithmetic core.
+    pub polynomial: Poly,
+}
+
+/// The decoder pipeline stage a profile function name belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderStage {
+    /// Requantization.
+    Dequantize,
+    /// Stereo processing.
+    Stereo,
+    /// Antialias butterflies.
+    Antialias,
+    /// IMDCT.
+    Imdct,
+    /// Hybrid overlap-add.
+    Hybrid,
+    /// Polyphase subband synthesis.
+    Synthesis,
+}
+
+/// Maps a profiled function name to its decoder stage (when the function is a
+/// mapping target at all).
+pub fn stage_of(function: &str) -> Option<DecoderStage> {
+    match function {
+        "III_dequantize_sample" => Some(DecoderStage::Dequantize),
+        "III_stereo" => Some(DecoderStage::Stereo),
+        "III_antialias" => Some(DecoderStage::Antialias),
+        "inv_mdctL" | "IppsMDCTInv_MP3_32s" => Some(DecoderStage::Imdct),
+        "III_hybrid" => Some(DecoderStage::Hybrid),
+        "SubBandSynthesis" | "ippsSynthPQMF_MP3_32s16s" => Some(DecoderStage::Synthesis),
+        _ => None,
+    }
+}
+
+/// Returns the polynomial formulation of a decoder function, or an error when
+/// the function is control-dominated and has no polynomial representation.
+pub fn polynomial_for(function: &str) -> Result<Poly, CoreError> {
+    let stage = stage_of(function).ok_or_else(|| CoreError::UnknownFunction(function.to_string()))?;
+    Ok(match stage {
+        DecoderStage::Dequantize => catalog::dequantizer_polynomial(),
+        DecoderStage::Stereo => catalog::stereo_polynomial(),
+        DecoderStage::Antialias => catalog::antialias_polynomial(),
+        DecoderStage::Imdct => imdct::imdct_polynomial(0, 36),
+        DecoderStage::Hybrid => catalog::hybrid_polynomial(),
+        DecoderStage::Synthesis => synthesis::synthesis_polynomial(0),
+    })
+}
+
+/// Selects the critical procedures of a profile (those covering
+/// `threshold_percent` of the execution time) and formulates each one that
+/// admits a polynomial representation.
+pub fn identify_targets(profile: &Profile, threshold_percent: f64) -> Vec<TargetFunction> {
+    let mut out = Vec::new();
+    for name in profile.critical_functions(threshold_percent) {
+        let Ok(polynomial) = polynomial_for(&name) else {
+            continue;
+        };
+        let percent = profile.entry(&name).map(|e| e.percent).unwrap_or(0.0);
+        out.push(TargetFunction { name, percent, polynomial });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmap_mp3::decoder::{Decoder, KernelSet};
+    use symmap_mp3::frame::FrameGenerator;
+    use symmap_platform::machine::Badge4;
+    use symmap_platform::profiler::Profiler;
+
+    #[test]
+    fn stage_mapping_covers_both_naming_schemes() {
+        assert_eq!(stage_of("SubBandSynthesis"), Some(DecoderStage::Synthesis));
+        assert_eq!(stage_of("ippsSynthPQMF_MP3_32s16s"), Some(DecoderStage::Synthesis));
+        assert_eq!(stage_of("inv_mdctL"), Some(DecoderStage::Imdct));
+        assert_eq!(stage_of("III_hufman_decode"), None);
+        assert_eq!(stage_of("unknown"), None);
+    }
+
+    #[test]
+    fn control_functions_have_no_polynomial() {
+        assert!(polynomial_for("III_hufman_decode").is_err());
+        assert!(polynomial_for("III_reorder").is_err());
+        assert!(polynomial_for("SubBandSynthesis").is_ok());
+    }
+
+    #[test]
+    fn identify_targets_from_a_real_profile() {
+        let frame = FrameGenerator::new(4).frame();
+        let profiler = Profiler::new();
+        Decoder::new(KernelSet::reference()).decode_frame(&frame, &profiler);
+        let profile = profiler.profile(&Badge4::new());
+        let targets = identify_targets(&profile, 95.0);
+        let names: Vec<&str> = targets.iter().map(|t| t.name.as_str()).collect();
+        // The three dominant arithmetic functions must all be identified.
+        assert!(names.contains(&"III_dequantize_sample"));
+        assert!(names.contains(&"SubBandSynthesis"));
+        assert!(names.contains(&"inv_mdctL"));
+        // Control functions are skipped even if they sneak into the critical set.
+        assert!(!names.contains(&"III_hufman_decode"));
+        for t in &targets {
+            assert!(!t.polynomial.is_zero());
+            assert!(t.percent > 0.0);
+        }
+    }
+
+    #[test]
+    fn polynomials_are_the_shared_representations() {
+        assert_eq!(
+            polynomial_for("SubBandSynthesis").unwrap(),
+            synthesis::synthesis_polynomial(0)
+        );
+        assert_eq!(polynomial_for("inv_mdctL").unwrap(), imdct::imdct_polynomial(0, 36));
+    }
+}

@@ -1,0 +1,53 @@
+//! # symmap-core
+//!
+//! Automated complex-software-library mapping using symbolic algebra — the
+//! primary contribution of the DAC 2002 paper, built on the substrates of the
+//! other `symmap-*` crates.
+//!
+//! The methodology has three steps:
+//!
+//! 1. **Library characterization** (`symmap-libchar`): each element carries a
+//!    polynomial representation, measured cycles/energy and an accuracy bound.
+//! 2. **Target code identification** ([`identify`]): profiling finds the
+//!    critical procedures and formulates them as polynomials.
+//! 3. **Library mapping** ([`decompose`]): the `Decompose` branch-and-bound of
+//!    the paper's Table 2 rewrites each target polynomial modulo the library
+//!    elements' side relations, bounding the search with performance/energy
+//!    cost and checking accuracy before accepting a solution.
+//!
+//! [`pipeline::OptimizationPipeline`] glues the steps together for the MP3
+//! decoder workload and regenerates the paper's Tables 3–6; [`report`]
+//! renders them.
+//!
+//! ```
+//! use symmap_algebra::poly::Poly;
+//! use symmap_core::decompose::{Mapper, MapperConfig};
+//! use symmap_libchar::{Library, LibraryElement};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut library = Library::new("demo");
+//! library.push(
+//!     LibraryElement::builder("sum_sq", "s")
+//!         .polynomial(Poly::parse("x + y")?)
+//!         .cycles(4)
+//!         .build()?,
+//! );
+//! let mapper = Mapper::new(&library, MapperConfig::default());
+//! let solution = mapper.map_polynomial(&Poly::parse("x^2 + 2*x*y + y^2")?)?;
+//! assert!(solution.uses_element("sum_sq"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cost;
+pub mod decompose;
+pub mod error;
+pub mod identify;
+pub mod mapping;
+pub mod pipeline;
+pub mod report;
+
+pub use decompose::{Mapper, MapperConfig};
+pub use error::CoreError;
+pub use mapping::MappingSolution;
+pub use pipeline::{CodeVersion, OptimizationPipeline};

@@ -1,0 +1,487 @@
+//! Abstract syntax tree and parser for the algorithmic-level language.
+//!
+//! The language is the subset of C needed to express the arithmetic kernels
+//! the paper maps: assignments, arithmetic expressions with calls to
+//! elementary functions, counted `for` loops with constant bounds, `if` with
+//! constant-foldable conditions, and a final `return`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use symmap_numeric::series::Function as MathFunction;
+
+/// Errors produced while parsing or analysing IR programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// The source text could not be parsed.
+    Parse(String),
+    /// A variable was used before being defined.
+    UndefinedVariable(String),
+    /// The function has no `return` statement.
+    MissingReturn,
+    /// The program is not representable as a polynomial.
+    NotPolynomial(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Parse(m) => write!(f, "parse error: {m}"),
+            IrError::UndefinedVariable(v) => write!(f, "variable `{v}` used before definition"),
+            IrError::MissingReturn => write!(f, "function has no return statement"),
+            IrError::NotPolynomial(m) => write!(f, "not a polynomial: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// An arithmetic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A floating-point literal.
+    Number(f64),
+    /// A variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary(Box<Expr>, BinOp, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Call to an elementary math function.
+    Call(MathFunction, Box<Expr>),
+    /// Array-style indexed variable `a[i]`, linearized to `a_i` when the index
+    /// is constant (after unrolling).
+    Index(String, Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (only by constants is polynomial-friendly).
+    Div,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr;` (also used for `a[i] = expr;` via [`Expr::Index`] names).
+    Assign(String, Expr),
+    /// `a[index] = expr;`
+    AssignIndex(String, Expr, Expr),
+    /// `for (i = start; i < end; i = i + 1) { body }` with constant bounds.
+    For { var: String, start: i64, end: i64, body: Vec<Stmt> },
+    /// `return expr;`
+    Return(Expr),
+}
+
+/// A parsed function: name, parameters and body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<String>,
+    /// Statement list.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Parses a function definition; see the module documentation for the
+    /// accepted grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Parse`] on malformed input.
+    pub fn parse(source: &str) -> Result<Self, IrError> {
+        Parser::new(source).function()
+    }
+
+    /// Evaluates the function on concrete arguments (reference semantics used
+    /// to validate transformations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UndefinedVariable`] or [`IrError::MissingReturn`]
+    /// when the program is ill-formed.
+    pub fn eval(&self, args: &[f64]) -> Result<f64, IrError> {
+        let mut env: BTreeMap<String, f64> = BTreeMap::new();
+        for (p, v) in self.params.iter().zip(args) {
+            env.insert(p.clone(), *v);
+        }
+        eval_block(&self.body, &mut env)?.ok_or(IrError::MissingReturn)
+    }
+}
+
+fn eval_block(stmts: &[Stmt], env: &mut BTreeMap<String, f64>) -> Result<Option<f64>, IrError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign(name, e) => {
+                let v = eval_expr(e, env)?;
+                env.insert(name.clone(), v);
+            }
+            Stmt::AssignIndex(name, index, e) => {
+                let idx = eval_expr(index, env)? as i64;
+                let v = eval_expr(e, env)?;
+                env.insert(format!("{name}_{idx}"), v);
+            }
+            Stmt::For { var, start, end, body } => {
+                for i in *start..*end {
+                    env.insert(var.clone(), i as f64);
+                    if let Some(v) = eval_block(body, env)? {
+                        return Ok(Some(v));
+                    }
+                }
+            }
+            Stmt::Return(e) => return Ok(Some(eval_expr(e, env)?)),
+        }
+    }
+    Ok(None)
+}
+
+fn eval_expr(e: &Expr, env: &BTreeMap<String, f64>) -> Result<f64, IrError> {
+    Ok(match e {
+        Expr::Number(v) => *v,
+        Expr::Var(name) => {
+            *env.get(name).ok_or_else(|| IrError::UndefinedVariable(name.clone()))?
+        }
+        Expr::Binary(a, op, b) => {
+            let (a, b) = (eval_expr(a, env)?, eval_expr(b, env)?);
+            match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+            }
+        }
+        Expr::Neg(a) => -eval_expr(a, env)?,
+        Expr::Call(f, a) => f.eval(eval_expr(a, env)?),
+        Expr::Index(name, index) => {
+            let idx = eval_expr(index, env)? as i64;
+            let key = format!("{name}_{idx}");
+            *env.get(&key).ok_or(IrError::UndefinedVariable(key))?
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    tokens: Vec<String>,
+    pos: usize,
+    source: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(source: &'a str) -> Self {
+        let mut tokens = Vec::new();
+        let mut chars = source.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut t = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            t.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(t);
+                }
+                c if c.is_ascii_digit() => {
+                    let mut t = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_digit() || c == '.' {
+                            t.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(t);
+                }
+                _ => {
+                    // Two-character operators we care about: `<=`, `==`.
+                    let mut t = c.to_string();
+                    chars.next();
+                    if (c == '<' || c == '=' || c == '>') && chars.peek() == Some(&'=') {
+                        t.push('=');
+                        chars.next();
+                    }
+                    tokens.push(t);
+                }
+            }
+        }
+        Parser { tokens, pos: 0, source }
+    }
+
+    fn err(&self, message: &str) -> IrError {
+        IrError::Parse(format!("{message} (near token {} of `{}`)", self.pos, self.source.trim()))
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn bump(&mut self) -> Option<String> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), IrError> {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{token}`, found `{}`", self.peek().unwrap_or("eof"))))
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, IrError> {
+        let name = self.bump().ok_or_else(|| self.err("expected function name"))?;
+        self.expect("(")?;
+        let mut params = Vec::new();
+        while self.peek() != Some(")") {
+            params.push(self.bump().ok_or_else(|| self.err("expected parameter"))?);
+            if self.peek() == Some(",") {
+                self.pos += 1;
+            }
+        }
+        self.expect(")")?;
+        self.expect("{")?;
+        let body = self.block()?;
+        self.expect("}")?;
+        if self.pos != self.tokens.len() {
+            return Err(self.err("unexpected trailing tokens"));
+        }
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, IrError> {
+        let mut stmts = Vec::new();
+        while let Some(t) = self.peek() {
+            if t == "}" {
+                break;
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, IrError> {
+        match self.peek() {
+            Some("return") => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(";")?;
+                Ok(Stmt::Return(e))
+            }
+            Some("for") => {
+                self.pos += 1;
+                self.expect("(")?;
+                let var = self.bump().ok_or_else(|| self.err("expected loop variable"))?;
+                self.expect("=")?;
+                let start = self.integer()?;
+                self.expect(";")?;
+                let var2 = self.bump().ok_or_else(|| self.err("expected loop variable"))?;
+                if var2 != var {
+                    return Err(self.err("loop condition must test the loop variable"));
+                }
+                self.expect("<")?;
+                let end = self.integer()?;
+                self.expect(";")?;
+                // Accept `i = i + 1` or `i++`.
+                let var3 = self.bump().ok_or_else(|| self.err("expected loop increment"))?;
+                if var3 != var {
+                    return Err(self.err("loop increment must update the loop variable"));
+                }
+                if self.peek() == Some("+") {
+                    self.pos += 1;
+                    self.expect("+")?;
+                } else {
+                    self.expect("=")?;
+                    let v = self.bump();
+                    if v.as_deref() != Some(var.as_str()) {
+                        return Err(self.err("loop increment must be `i = i + 1`"));
+                    }
+                    self.expect("+")?;
+                    let one = self.integer()?;
+                    if one != 1 {
+                        return Err(self.err("only unit-stride loops are supported"));
+                    }
+                }
+                self.expect(")")?;
+                self.expect("{")?;
+                let body = self.block()?;
+                self.expect("}")?;
+                Ok(Stmt::For { var, start, end, body })
+            }
+            Some(_) => {
+                let name = self.bump().ok_or_else(|| self.err("expected identifier"))?;
+                if self.peek() == Some("[") {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    self.expect("]")?;
+                    self.expect("=")?;
+                    let e = self.expr()?;
+                    self.expect(";")?;
+                    Ok(Stmt::AssignIndex(name, index, e))
+                } else {
+                    self.expect("=")?;
+                    let e = self.expr()?;
+                    self.expect(";")?;
+                    Ok(Stmt::Assign(name, e))
+                }
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, IrError> {
+        let t = self.bump().ok_or_else(|| self.err("expected integer"))?;
+        t.parse().map_err(|_| self.err(&format!("`{t}` is not an integer")))
+    }
+
+    fn expr(&mut self) -> Result<Expr, IrError> {
+        let mut acc = self.term()?;
+        while let Some(t) = self.peek() {
+            let op = match t {
+                "+" => BinOp::Add,
+                "-" => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            acc = Expr::Binary(Box::new(acc), op, Box::new(self.term()?));
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<Expr, IrError> {
+        let mut acc = self.factor()?;
+        while let Some(t) = self.peek() {
+            let op = match t {
+                "*" => BinOp::Mul,
+                "/" => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            acc = Expr::Binary(Box::new(acc), op, Box::new(self.factor()?));
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Expr, IrError> {
+        match self.bump().as_deref() {
+            Some("(") => {
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            Some("-") => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Some(t) if t.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
+                t.parse().map(Expr::Number).map_err(|_| self.err(&format!("bad number `{t}`")))
+            }
+            Some(t) if t.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') => {
+                let name = t.to_string();
+                if self.peek() == Some("(") {
+                    self.pos += 1;
+                    let arg = self.expr()?;
+                    self.expect(")")?;
+                    let func = match name.as_str() {
+                        "exp" => MathFunction::Exp,
+                        "log1p" | "log" => MathFunction::Ln1p,
+                        "sin" => MathFunction::Sin,
+                        "cos" => MathFunction::Cos,
+                        "atan" => MathFunction::Atan,
+                        "sqrt1p" | "sqrt" => MathFunction::Sqrt1p,
+                        "pow43" => MathFunction::Pow43,
+                        other => return Err(self.err(&format!("unknown function `{other}`"))),
+                    };
+                    Ok(Expr::Call(func, Box::new(arg)))
+                } else if self.peek() == Some("[") {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    self.expect("]")?;
+                    Ok(Expr::Index(name, Box::new(index)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(&format!("unexpected token `{}`", other.unwrap_or("eof")))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_straight_line_function() {
+        let f = Function::parse("f(x, y) { t = x + y; return t * t; }").unwrap();
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params, vec!["x", "y"]);
+        assert_eq!(f.body.len(), 2);
+        assert_eq!(f.eval(&[2.0, 3.0]).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn parses_for_loop_and_arrays() {
+        let f = Function::parse(
+            "dot(a_0, a_1, a_2, b_0, b_1, b_2) {
+                 acc = 0;
+                 for (i = 0; i < 3; i = i + 1) {
+                     acc = acc + a[i] * b[i];
+                 }
+                 return acc;
+             }",
+        )
+        .unwrap();
+        let v = f.eval(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(v, 32.0);
+    }
+
+    #[test]
+    fn parses_calls_and_negation() {
+        let f = Function::parse("g(x) { return -exp(x) + 1; }").unwrap();
+        let v = f.eval(&[0.5]).unwrap();
+        assert!((v - (1.0 - 0.5_f64.exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_malformed_source() {
+        assert!(Function::parse("f(x) { return x + ; }").is_err());
+        assert!(Function::parse("f(x) { x = 1 }").is_err());
+        assert!(Function::parse("f(x) { return unknown_fn(x); }").is_err());
+        assert!(Function::parse("").is_err());
+    }
+
+    #[test]
+    fn undefined_variable_and_missing_return() {
+        let f = Function::parse("f(x) { y = z + 1; return y; }").unwrap();
+        assert!(matches!(f.eval(&[1.0]), Err(IrError::UndefinedVariable(_))));
+        let f = Function::parse("f(x) { y = x; }").unwrap();
+        assert!(matches!(f.eval(&[1.0]), Err(IrError::MissingReturn)));
+    }
+
+    #[test]
+    fn division_parses() {
+        let f = Function::parse("f(x) { return x / 2 + 1; }").unwrap();
+        assert_eq!(f.eval(&[4.0]).unwrap(), 3.0);
+    }
+}

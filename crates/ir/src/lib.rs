@@ -1,0 +1,35 @@
+//! # symmap-ir
+//!
+//! A small algorithmic-level ("C-like") intermediate representation with the
+//! compiler transformations the paper's target-code-identification step relies
+//! on (§3.2): constant propagation and folding, copy propagation, loop
+//! unrolling, dead-code elimination — followed by extraction of a polynomial
+//! representation from the resulting straight-line arithmetic code.
+//!
+//! The goal of the transformations is exactly the paper's: *formulate as
+//! large polynomials as possible* so that the likelihood of matching a complex
+//! library element increases.
+//!
+//! ```
+//! use symmap_ir::ast::Function;
+//! use symmap_ir::polyextract::extract_polynomial;
+//! use symmap_algebra::poly::Poly;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let f = Function::parse(
+//!     "f(x, y) {
+//!          t = x + y;
+//!          return t * t;
+//!      }",
+//! )?;
+//! let poly = extract_polynomial(&f)?;
+//! assert_eq!(poly, Poly::parse("x^2 + 2*x*y + y^2")?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod polyextract;
+pub mod transform;
+
+pub use ast::{Expr, Function, IrError, Stmt};

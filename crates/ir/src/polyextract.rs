@@ -1,0 +1,177 @@
+//! Extraction of polynomial representations from IR functions (§3.2).
+//!
+//! After normalization ([`crate::transform::normalize`]) the function body is
+//! a single `return` of an arithmetic expression. Linear/polynomial arithmetic
+//! converts directly; calls to nonlinear elementary functions are replaced by
+//! truncated Taylor series; genuinely non-polynomial constructs (division by a
+//! variable) are reported as errors so the caller can leave that code block to
+//! conventional compilation — the same fallback the paper uses.
+
+use symmap_algebra::expr::Expr as SymExpr;
+use symmap_algebra::poly::Poly;
+use symmap_numeric::Rational;
+
+use crate::ast::{BinOp, Expr, Function, IrError, Stmt};
+use crate::transform::normalize;
+
+/// Number of Taylor terms used when a nonlinear call has to be approximated.
+pub const DEFAULT_SERIES_TERMS: usize = 6;
+
+/// Extracts the polynomial computed by `f` (normalizing first). Nonlinear
+/// calls are replaced by truncated Taylor expansions.
+///
+/// # Errors
+///
+/// Returns [`IrError::MissingReturn`] when the function never returns and
+/// [`IrError::NotPolynomial`] for constructs with no polynomial model.
+pub fn extract_polynomial(f: &Function) -> Result<Poly, IrError> {
+    extract_polynomial_with_terms(f, DEFAULT_SERIES_TERMS)
+}
+
+/// [`extract_polynomial`] with an explicit series-truncation length.
+///
+/// # Errors
+///
+/// See [`extract_polynomial`].
+pub fn extract_polynomial_with_terms(f: &Function, terms: usize) -> Result<Poly, IrError> {
+    let normalized = normalize(f);
+    let ret = normalized
+        .body
+        .iter()
+        .find_map(|s| match s {
+            Stmt::Return(e) => Some(e.clone()),
+            _ => None,
+        })
+        .ok_or(IrError::MissingReturn)?;
+    let sym = to_symbolic(&ret)?;
+    let approximated = sym.approximate_calls(terms, 1 << 20);
+    approximated
+        .to_poly()
+        .map_err(|e| IrError::NotPolynomial(e.to_string()))
+}
+
+/// Converts an IR expression into a symbolic expression tree, keeping
+/// nonlinear calls as call nodes (so the caller can decide how to approximate
+/// them).
+///
+/// # Errors
+///
+/// Returns [`IrError::NotPolynomial`] for division by a non-constant and for
+/// unresolved array indexing.
+pub fn to_symbolic(e: &Expr) -> Result<SymExpr, IrError> {
+    Ok(match e {
+        Expr::Number(v) => SymExpr::Constant(
+            Rational::approximate_f64(*v, 1 << 24)
+                .map_err(|err| IrError::NotPolynomial(err.to_string()))?,
+        ),
+        Expr::Var(name) => SymExpr::var(name),
+        Expr::Neg(a) => SymExpr::Constant(Rational::integer(-1)).mul(to_symbolic(a)?),
+        Expr::Binary(a, op, b) => {
+            let (a, b) = (to_symbolic(a)?, to_symbolic(b)?);
+            match op {
+                BinOp::Add => a.add(b),
+                BinOp::Sub => a.add(SymExpr::Constant(Rational::integer(-1)).mul(b)),
+                BinOp::Mul => a.mul(b),
+                BinOp::Div => match &b {
+                    SymExpr::Constant(c) if !c.is_zero() => {
+                        a.mul(SymExpr::Constant(c.recip().expect("nonzero divisor")))
+                    }
+                    _ => {
+                        return Err(IrError::NotPolynomial(
+                            "division by a non-constant expression".to_string(),
+                        ))
+                    }
+                },
+            }
+        }
+        Expr::Call(f, a) => SymExpr::Call(*f, Box::new(to_symbolic(a)?)),
+        Expr::Index(name, _) => {
+            return Err(IrError::NotPolynomial(format!(
+                "array `{name}` indexed by a non-constant expression"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use symmap_algebra::var::Var;
+
+    #[test]
+    fn straight_line_code_extracts_exactly() {
+        let f = Function::parse("f(x, y) { t = x + y; return t * t; }").unwrap();
+        assert_eq!(extract_polynomial(&f).unwrap(), Poly::parse("x^2 + 2*x*y + y^2").unwrap());
+    }
+
+    #[test]
+    fn unrolled_dot_product_becomes_a_large_linear_form() {
+        // The §3.2 goal: loop unrolling turns the loop into one big polynomial
+        // covering the whole dot product, increasing the chance of matching a
+        // complex library element (here a 4-tap MAC chain).
+        let f = Function::parse(
+            "dot(c_0, c_1, c_2, c_3, y_0, y_1, y_2, y_3) {
+                 acc = 0;
+                 for (k = 0; k < 4; k = k + 1) {
+                     acc = acc + c[k] * y[k];
+                 }
+                 return acc;
+             }",
+        )
+        .unwrap();
+        let poly = extract_polynomial(&f).unwrap();
+        assert_eq!(poly, Poly::parse("c_0*y_0 + c_1*y_1 + c_2*y_2 + c_3*y_3").unwrap());
+        assert_eq!(poly.num_terms(), 4);
+    }
+
+    #[test]
+    fn nonlinear_calls_become_series() {
+        let f = Function::parse("g(x) { return exp(x) - 1; }").unwrap();
+        let poly = extract_polynomial(&f).unwrap();
+        // Evaluating the series near 0 tracks exp(x) - 1.
+        let mut asn = BTreeMap::new();
+        asn.insert(Var::new("x"), 0.1);
+        assert!((poly.eval_f64(&asn) - (0.1_f64.exp() - 1.0)).abs() < 1e-6);
+        // Constant term vanishes.
+        assert!(poly.coefficient(&symmap_algebra::monomial::Monomial::one()).is_zero());
+    }
+
+    #[test]
+    fn division_by_variable_is_rejected() {
+        let f = Function::parse("f(x, y) { return x / y; }").unwrap();
+        assert!(matches!(extract_polynomial(&f), Err(IrError::NotPolynomial(_))));
+    }
+
+    #[test]
+    fn division_by_constant_is_fine() {
+        let f = Function::parse("f(x) { return (x + 1) / 2; }").unwrap();
+        assert_eq!(extract_polynomial(&f).unwrap(), Poly::parse("x/2 + 1/2").unwrap());
+    }
+
+    #[test]
+    fn polynomial_matches_reference_interpreter() {
+        let f = Function::parse(
+            "poly(x, y) {
+                 a = x * x - y;
+                 b = a * y + 3;
+                 return b * b - x;
+             }",
+        )
+        .unwrap();
+        let poly = extract_polynomial(&f).unwrap();
+        for (x, y) in [(0.5, -1.0), (1.25, 2.0), (-2.0, 0.75)] {
+            let mut asn = BTreeMap::new();
+            asn.insert(Var::new("x"), x);
+            asn.insert(Var::new("y"), y);
+            let direct = f.eval(&[x, y]).unwrap();
+            assert!((poly.eval_f64(&asn) - direct).abs() < 1e-9, "mismatch at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn missing_return_is_reported() {
+        let f = Function::parse("f(x) { y = x * 2; }").unwrap();
+        assert!(matches!(extract_polynomial(&f), Err(IrError::MissingReturn)));
+    }
+}

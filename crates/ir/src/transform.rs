@@ -1,0 +1,262 @@
+//! Code transformations used to enlarge the polynomials formulated from
+//! target code (§3.2): loop unrolling, constant folding and propagation, copy
+//! propagation and dead-code elimination.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{BinOp, Expr, Function, Stmt};
+
+/// Fully unrolls every counted loop with constant bounds. Loop-variable
+/// references and constant array indices are resolved so the body becomes
+/// straight-line code.
+pub fn unroll_loops(f: &Function) -> Function {
+    Function { name: f.name.clone(), params: f.params.clone(), body: unroll_block(&f.body) }
+}
+
+fn unroll_block(stmts: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::For { var, start, end, body } => {
+                for i in *start..*end {
+                    let substituted: Vec<Stmt> =
+                        body.iter().map(|s| substitute_stmt(s, var, i as f64)).collect();
+                    out.extend(unroll_block(&substituted));
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+fn substitute_stmt(stmt: &Stmt, var: &str, value: f64) -> Stmt {
+    match stmt {
+        Stmt::Assign(name, e) => Stmt::Assign(name.clone(), substitute_expr(e, var, value)),
+        Stmt::AssignIndex(name, index, e) => Stmt::AssignIndex(
+            name.clone(),
+            substitute_expr(index, var, value),
+            substitute_expr(e, var, value),
+        ),
+        Stmt::For { var: inner, start, end, body } => Stmt::For {
+            var: inner.clone(),
+            start: *start,
+            end: *end,
+            body: body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+        },
+        Stmt::Return(e) => Stmt::Return(substitute_expr(e, var, value)),
+    }
+}
+
+fn substitute_expr(e: &Expr, var: &str, value: f64) -> Expr {
+    match e {
+        Expr::Var(name) if name == var => Expr::Number(value),
+        Expr::Number(_) | Expr::Var(_) => e.clone(),
+        Expr::Binary(a, op, b) => Expr::Binary(
+            Box::new(substitute_expr(a, var, value)),
+            *op,
+            Box::new(substitute_expr(b, var, value)),
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(substitute_expr(a, var, value))),
+        Expr::Call(f, a) => Expr::Call(*f, Box::new(substitute_expr(a, var, value))),
+        Expr::Index(name, index) => {
+            Expr::Index(name.clone(), Box::new(substitute_expr(index, var, value)))
+        }
+    }
+}
+
+/// Folds constant subexpressions and resolves constant array indices into
+/// scalar variables (`a[2]` becomes `a_2`), which is what makes unrolled loops
+/// straight-line.
+pub fn fold_constants(f: &Function) -> Function {
+    Function {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        body: f.body.iter().map(fold_stmt).collect(),
+    }
+}
+
+fn fold_stmt(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::Assign(name, e) => Stmt::Assign(name.clone(), fold_expr(e)),
+        Stmt::AssignIndex(name, index, e) => {
+            let index = fold_expr(index);
+            let value = fold_expr(e);
+            if let Expr::Number(i) = index {
+                Stmt::Assign(format!("{name}_{}", i as i64), value)
+            } else {
+                Stmt::AssignIndex(name.clone(), index, value)
+            }
+        }
+        Stmt::For { var, start, end, body } => Stmt::For {
+            var: var.clone(),
+            start: *start,
+            end: *end,
+            body: body.iter().map(fold_stmt).collect(),
+        },
+        Stmt::Return(e) => Stmt::Return(fold_expr(e)),
+    }
+}
+
+fn fold_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Number(_) | Expr::Var(_) => e.clone(),
+        Expr::Binary(a, op, b) => {
+            let (a, b) = (fold_expr(a), fold_expr(b));
+            if let (Expr::Number(x), Expr::Number(y)) = (&a, &b) {
+                return Expr::Number(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                });
+            }
+            // Identity simplifications that shrink unrolled code.
+            match (&a, op, &b) {
+                (Expr::Number(z), BinOp::Add, other) if *z == 0.0 => other.clone(),
+                (other, BinOp::Add, Expr::Number(z)) if *z == 0.0 => other.clone(),
+                (other, BinOp::Sub, Expr::Number(z)) if *z == 0.0 => other.clone(),
+                (Expr::Number(o), BinOp::Mul, other) if *o == 1.0 => other.clone(),
+                (other, BinOp::Mul, Expr::Number(o)) if *o == 1.0 => other.clone(),
+                (Expr::Number(z), BinOp::Mul, _) | (_, BinOp::Mul, Expr::Number(z))
+                    if *z == 0.0 =>
+                {
+                    Expr::Number(0.0)
+                }
+                _ => Expr::Binary(Box::new(a), *op, Box::new(b)),
+            }
+        }
+        Expr::Neg(a) => {
+            let a = fold_expr(a);
+            if let Expr::Number(x) = a {
+                Expr::Number(-x)
+            } else {
+                Expr::Neg(Box::new(a))
+            }
+        }
+        Expr::Call(f, a) => Expr::Call(*f, Box::new(fold_expr(a))),
+        Expr::Index(name, index) => {
+            let index = fold_expr(index);
+            if let Expr::Number(i) = index {
+                Expr::Var(format!("{name}_{}", i as i64))
+            } else {
+                Expr::Index(name.clone(), Box::new(index))
+            }
+        }
+    }
+}
+
+/// Propagates copies and forward-substitutes single-use temporaries so the
+/// final `return` expression mentions as much of the computation as possible
+/// (producing the *large polynomial* the identification step wants). Also
+/// drops assignments that are never read (dead-code elimination).
+pub fn propagate_and_inline(f: &Function) -> Function {
+    let mut defs: BTreeMap<String, Expr> = BTreeMap::new();
+    let mut body = Vec::new();
+    for stmt in &f.body {
+        match stmt {
+            Stmt::Assign(name, e) => {
+                let inlined = inline_expr(e, &defs);
+                defs.insert(name.clone(), inlined);
+            }
+            Stmt::Return(e) => {
+                body.push(Stmt::Return(inline_expr(e, &defs)));
+                break;
+            }
+            other => body.push(other.clone()),
+        }
+    }
+    Function { name: f.name.clone(), params: f.params.clone(), body }
+}
+
+fn inline_expr(e: &Expr, defs: &BTreeMap<String, Expr>) -> Expr {
+    match e {
+        Expr::Var(name) => defs.get(name).cloned().unwrap_or_else(|| e.clone()),
+        Expr::Number(_) => e.clone(),
+        Expr::Binary(a, op, b) => Expr::Binary(
+            Box::new(inline_expr(a, defs)),
+            *op,
+            Box::new(inline_expr(b, defs)),
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(inline_expr(a, defs))),
+        Expr::Call(f, a) => Expr::Call(*f, Box::new(inline_expr(a, defs))),
+        Expr::Index(name, index) => Expr::Index(name.clone(), Box::new(inline_expr(index, defs))),
+    }
+}
+
+/// The full §3.2 normalization pipeline: unroll, fold, propagate.
+pub fn normalize(f: &Function) -> Function {
+    propagate_and_inline(&fold_constants(&unroll_loops(f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Function;
+
+    #[test]
+    fn unrolling_preserves_semantics() {
+        let f = Function::parse(
+            "dot(a_0, a_1, a_2, b_0, b_1, b_2) {
+                 acc = 0;
+                 for (i = 0; i < 3; i = i + 1) {
+                     acc = acc + a[i] * b[i];
+                 }
+                 return acc;
+             }",
+        )
+        .unwrap();
+        let unrolled = normalize(&f);
+        assert!(unrolled.body.iter().all(|s| !matches!(s, Stmt::For { .. })));
+        let args = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(f.eval(&args).unwrap(), unrolled.eval(&args).unwrap());
+    }
+
+    #[test]
+    fn constant_folding_collapses_arithmetic() {
+        let f = Function::parse("f(x) { return x * (2 + 3) + 0; }").unwrap();
+        let folded = normalize(&f);
+        match &folded.body[0] {
+            Stmt::Return(Expr::Binary(a, BinOp::Mul, b)) => {
+                assert!(matches!(**a, Expr::Var(_)));
+                assert!(matches!(**b, Expr::Number(v) if v == 5.0));
+            }
+            other => panic!("unexpected folded body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn propagation_inlines_temporaries() {
+        let f = Function::parse("f(x, y) { t = x + y; u = t * t; dead = x * 99; return u; }")
+            .unwrap();
+        let n = normalize(&f);
+        // The single remaining statement is the return; dead code is gone.
+        assert_eq!(n.body.len(), 1);
+        assert_eq!(f.eval(&[1.5, 2.5]).unwrap(), n.eval(&[1.5, 2.5]).unwrap());
+    }
+
+    #[test]
+    fn nested_loops_unroll() {
+        let f = Function::parse(
+            "m(x) {
+                 acc = 0;
+                 for (i = 0; i < 2; i = i + 1) {
+                     for (j = 0; j < 2; j = j + 1) {
+                         acc = acc + x * i + j;
+                     }
+                 }
+                 return acc;
+             }",
+        )
+        .unwrap();
+        let n = normalize(&f);
+        assert_eq!(f.eval(&[3.0]).unwrap(), n.eval(&[3.0]).unwrap());
+    }
+
+    #[test]
+    fn identity_simplifications() {
+        let f = Function::parse("f(x) { return 1 * x + 0 * x + (x - 0); }").unwrap();
+        let n = normalize(&f);
+        assert_eq!(n.eval(&[7.0]).unwrap(), 14.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Measuring library elements on the platform model.
+//!
+//! §3.1: "Most embedded systems have OS timers that can be used for
+//! fine-granularity performance measurements on hardware… Alternatively, a
+//! cycle-accurate energy consumption simulator easily provides energy and
+//! performance estimates of library elements." Here the Badge4 cost model
+//! plays the role of both: an element is characterized by running its kernel
+//! (which reports operation counts) and costing those counts.
+
+use symmap_platform::cost::OpCounts;
+use symmap_platform::machine::{Badge4, ExecutionCost};
+
+use crate::element::LibraryElement;
+
+/// A characterization measurement for one element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Cycles per invocation.
+    pub cycles: u64,
+    /// Seconds per invocation at the platform's operating point.
+    pub seconds: f64,
+    /// Energy per invocation in nanojoules.
+    pub energy_nj: f64,
+}
+
+impl From<ExecutionCost> for Measurement {
+    fn from(c: ExecutionCost) -> Self {
+        Measurement { cycles: c.cycles, seconds: c.seconds, energy_nj: c.energy_j * 1e9 }
+    }
+}
+
+/// Characterizes elements against a [`Badge4`] model.
+#[derive(Debug, Clone)]
+pub struct Characterizer {
+    badge: Badge4,
+}
+
+impl Characterizer {
+    /// Creates a characterizer for the given platform.
+    pub fn new(badge: Badge4) -> Self {
+        Characterizer { badge }
+    }
+
+    /// The underlying platform model.
+    pub fn badge(&self) -> &Badge4 {
+        &self.badge
+    }
+
+    /// Costs a bag of operation counts (one invocation of the element's
+    /// kernel).
+    pub fn measure_counts(&self, ops: &OpCounts) -> Measurement {
+        self.badge.cost_of(ops).into()
+    }
+
+    /// Runs `kernel`, which performs one invocation of the element and
+    /// returns its operation counts, and stores the measured cost in
+    /// `element`.
+    pub fn characterize(
+        &self,
+        element: &mut LibraryElement,
+        kernel: impl FnOnce(&mut OpCounts),
+    ) -> Measurement {
+        let mut ops = OpCounts::new();
+        kernel(&mut ops);
+        let m = self.measure_counts(&ops);
+        element.set_cost(m.cycles, m.energy_nj);
+        m
+    }
+
+    /// Measures the execution-time ratio of two op-count bags (the
+    /// "execution time ratio" column of Table 1).
+    pub fn ratio(&self, baseline: &OpCounts, candidate: &OpCounts) -> f64 {
+        let b = self.measure_counts(baseline);
+        let c = self.measure_counts(candidate);
+        if c.seconds > 0.0 {
+            b.seconds / c.seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmap_algebra::poly::Poly;
+    use symmap_platform::cost::InstructionClass;
+
+    #[test]
+    fn characterize_updates_element_cost() {
+        let characterizer = Characterizer::new(Badge4::new());
+        let mut element = LibraryElement::builder("mac", "m")
+            .polynomial(Poly::parse("a*b + c").unwrap())
+            .build()
+            .unwrap();
+        let m = characterizer.characterize(&mut element, |ops| {
+            ops.add(InstructionClass::IntMac, 1);
+            ops.add(InstructionClass::Load, 3);
+        });
+        assert_eq!(element.cycles(), m.cycles);
+        assert!(element.energy_nj() > 0.0);
+        assert!(m.cycles >= 9);
+    }
+
+    #[test]
+    fn ratio_reflects_relative_cost() {
+        let characterizer = Characterizer::new(Badge4::new());
+        let mut float_ops = OpCounts::new();
+        float_ops.add(InstructionClass::FloatMulSoft, 1000);
+        let mut fixed_ops = OpCounts::new();
+        fixed_ops.add(InstructionClass::IntMac, 1000);
+        let ratio = characterizer.ratio(&float_ops, &fixed_ops);
+        assert!(ratio > 20.0, "float/fixed ratio {ratio}");
+        assert_eq!(characterizer.ratio(&float_ops, &OpCounts::new()), f64::INFINITY);
+    }
+
+    #[test]
+    fn measurement_converts_energy_to_nanojoules() {
+        let characterizer = Characterizer::new(Badge4::new());
+        let mut ops = OpCounts::new();
+        ops.add(InstructionClass::IntAlu, 1_000_000);
+        let m = characterizer.measure_counts(&ops);
+        assert!(m.energy_nj > 1000.0);
+        assert!(m.seconds > 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The library-element model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use symmap_algebra::poly::Poly;
+
+/// Numeric format of an element's inputs and outputs (from the library's
+/// include files, as §3.1 puts it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumericFormat {
+    /// IEEE double precision.
+    Double,
+    /// IEEE single precision.
+    Single,
+    /// Fixed point with the given integer/fractional bit split.
+    Fixed(u8, u8),
+}
+
+impl fmt::Display for NumericFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericFormat::Double => write!(f, "double"),
+            NumericFormat::Single => write!(f, "float"),
+            NumericFormat::Fixed(i, q) => write!(f, "Q{i}.{q}"),
+        }
+    }
+}
+
+/// Which library an element belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LibrarySource {
+    /// Linux math library ("LM").
+    LinuxMath,
+    /// In-house pre-optimized fixed-point routines ("IH").
+    InHouse,
+    /// Intel Integrated Performance Primitives style library ("IPP").
+    Ipp,
+}
+
+impl fmt::Display for LibrarySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibrarySource::LinuxMath => write!(f, "LM"),
+            LibrarySource::InHouse => write!(f, "IH"),
+            LibrarySource::Ipp => write!(f, "IPP"),
+        }
+    }
+}
+
+/// A characterized complex library element.
+///
+/// The polynomial representation is expressed in the element's formal input
+/// variables; `output_symbol` is the fresh variable the mapper introduces when
+/// it uses the element as a side relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryElement {
+    name: String,
+    output_symbol: String,
+    polynomial: Poly,
+    cycles: u64,
+    energy_nj: f64,
+    accuracy: f64,
+    format: NumericFormat,
+    source: LibrarySource,
+}
+
+impl LibraryElement {
+    /// Starts building an element with the given name and output symbol.
+    pub fn builder(name: &str, output_symbol: &str) -> LibraryElementBuilder {
+        LibraryElementBuilder {
+            name: name.to_string(),
+            output_symbol: output_symbol.to_string(),
+            polynomial: None,
+            cycles: 1,
+            energy_nj: 0.0,
+            accuracy: 0.0,
+            format: NumericFormat::Double,
+            source: LibrarySource::InHouse,
+        }
+    }
+
+    /// The element's name (as a designer would see it in the library index).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fresh symbol that stands for the element's output in rewritten code.
+    pub fn output_symbol(&self) -> &str {
+        &self.output_symbol
+    }
+
+    /// The polynomial representation of the element's function.
+    pub fn polynomial(&self) -> &Poly {
+        &self.polynomial
+    }
+
+    /// Execution cycles on the characterized platform (per invocation).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Energy per invocation in nanojoules.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy_nj
+    }
+
+    /// Worst-case absolute output error versus the exact function.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// Input/output numeric format.
+    pub fn format(&self) -> NumericFormat {
+        self.format
+    }
+
+    /// Which library this element comes from.
+    pub fn source(&self) -> LibrarySource {
+        self.source
+    }
+
+    /// Overrides the measured cost (used after characterization).
+    pub fn set_cost(&mut self, cycles: u64, energy_nj: f64) {
+        self.cycles = cycles;
+        self.energy_nj = energy_nj;
+    }
+}
+
+impl fmt::Display for LibraryElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] ({}, {} cycles, {:.1} nJ, err {:.2e}): {} = {}",
+            self.name,
+            self.source,
+            self.format,
+            self.cycles,
+            self.energy_nj,
+            self.accuracy,
+            self.output_symbol,
+            self.polynomial
+        )
+    }
+}
+
+/// Builder for [`LibraryElement`].
+#[derive(Debug, Clone)]
+pub struct LibraryElementBuilder {
+    name: String,
+    output_symbol: String,
+    polynomial: Option<Poly>,
+    cycles: u64,
+    energy_nj: f64,
+    accuracy: f64,
+    format: NumericFormat,
+    source: LibrarySource,
+}
+
+/// Error returned when a builder is missing its polynomial representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildElementError {
+    /// Name of the element that failed to build.
+    pub name: String,
+}
+
+impl fmt::Display for BuildElementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "library element `{}` has no polynomial representation", self.name)
+    }
+}
+
+impl std::error::Error for BuildElementError {}
+
+impl LibraryElementBuilder {
+    /// Sets the polynomial representation (required).
+    pub fn polynomial(mut self, p: Poly) -> Self {
+        self.polynomial = Some(p);
+        self
+    }
+
+    /// Sets the per-invocation cycle cost.
+    pub fn cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles.max(1);
+        self
+    }
+
+    /// Sets the per-invocation energy in nanojoules.
+    pub fn energy_nj(mut self, energy: f64) -> Self {
+        self.energy_nj = energy.max(0.0);
+        self
+    }
+
+    /// Sets the worst-case absolute error.
+    pub fn accuracy(mut self, accuracy: f64) -> Self {
+        self.accuracy = accuracy.max(0.0);
+        self
+    }
+
+    /// Sets the numeric format.
+    pub fn format(mut self, format: NumericFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Sets the source library.
+    pub fn source(mut self, source: LibrarySource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Builds the element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildElementError`] if no polynomial representation was set.
+    pub fn build(self) -> Result<LibraryElement, BuildElementError> {
+        let polynomial = self.polynomial.ok_or(BuildElementError { name: self.name.clone() })?;
+        Ok(LibraryElement {
+            name: self.name,
+            output_symbol: self.output_symbol,
+            polynomial,
+            cycles: self.cycles,
+            energy_nj: self.energy_nj,
+            accuracy: self.accuracy,
+            format: self.format,
+            source: self.source,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let e = LibraryElement::builder("mac", "m")
+            .polynomial(Poly::parse("a*b + c").unwrap())
+            .cycles(3)
+            .energy_nj(4.5)
+            .accuracy(1e-9)
+            .format(NumericFormat::Fixed(16, 15))
+            .source(LibrarySource::Ipp)
+            .build()
+            .unwrap();
+        assert_eq!(e.name(), "mac");
+        assert_eq!(e.output_symbol(), "m");
+        assert_eq!(e.cycles(), 3);
+        assert_eq!(e.source(), LibrarySource::Ipp);
+        assert_eq!(e.format().to_string(), "Q16.15");
+        assert!(e.to_string().contains("mac"));
+    }
+
+    #[test]
+    fn builder_requires_polynomial() {
+        let err = LibraryElement::builder("nopoly", "n").build().unwrap_err();
+        assert!(err.to_string().contains("nopoly"));
+    }
+
+    #[test]
+    fn zero_cycles_clamped_to_one() {
+        let e = LibraryElement::builder("free", "f")
+            .polynomial(Poly::parse("x").unwrap())
+            .cycles(0)
+            .build()
+            .unwrap();
+        assert_eq!(e.cycles(), 1);
+    }
+
+    #[test]
+    fn set_cost_updates_measurements() {
+        let mut e = LibraryElement::builder("exp", "e")
+            .polynomial(Poly::parse("1 + x").unwrap())
+            .build()
+            .unwrap();
+        e.set_cost(123, 9.0);
+        assert_eq!(e.cycles(), 123);
+        assert_eq!(e.energy_nj(), 9.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NumericFormat::Double.to_string(), "double");
+        assert_eq!(LibrarySource::LinuxMath.to_string(), "LM");
+        assert_eq!(LibrarySource::Ipp.to_string(), "IPP");
+    }
+}

@@ -1,0 +1,34 @@
+//! # symmap-libchar
+//!
+//! Library characterization — step 1 of the DAC 2002 methodology.
+//!
+//! Every complex software library element is labelled with:
+//!
+//! * the type of its inputs and outputs ([`element::NumericFormat`]),
+//! * its **polynomial representation** (used by the symbolic mapper),
+//! * its performance and energy consumption measured on the simulated Badge4
+//!   ([`characterize`]),
+//! * its accuracy.
+//!
+//! [`catalog`] builds the three libraries of the paper's evaluation — the
+//! Linux math library ("LM"), the in-house fixed-point library ("IH") and the
+//! Intel IPP-style library ("IPP") — plus the four-way `log` library of the
+//! paper's motivating example.
+//!
+//! ```
+//! use symmap_libchar::catalog;
+//! use symmap_platform::machine::Badge4;
+//!
+//! let badge = Badge4::new();
+//! let ipp = catalog::ipp_library(&badge);
+//! let subband = ipp.element("ipp_subband_synthesis").expect("characterized element");
+//! assert!(subband.cycles() > 0);
+//! ```
+
+pub mod catalog;
+pub mod characterize;
+pub mod element;
+pub mod library;
+
+pub use element::{LibraryElement, LibrarySource, NumericFormat};
+pub use library::Library;

@@ -1,0 +1,190 @@
+//! Collections of characterized library elements.
+
+use std::fmt;
+
+use crate::element::{LibraryElement, LibrarySource};
+
+/// A named collection of characterized library elements.
+///
+/// ```
+/// use symmap_libchar::{Library, LibraryElement};
+/// use symmap_algebra::poly::Poly;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut lib = Library::new("tiny");
+/// lib.push(
+///     LibraryElement::builder("sum", "s")
+///         .polynomial(Poly::parse("x + y")?)
+///         .cycles(2)
+///         .build()?,
+/// );
+/// assert_eq!(lib.len(), 1);
+/// assert!(lib.element("sum").is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Library {
+    name: String,
+    elements: Vec<LibraryElement>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: &str) -> Self {
+        Library { name: name.to_string(), elements: Vec::new() }
+    }
+
+    /// The library's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an element. Elements with duplicate names replace the earlier one
+    /// (re-characterization updates in place).
+    pub fn push(&mut self, element: LibraryElement) {
+        if let Some(existing) = self.elements.iter_mut().find(|e| e.name() == element.name()) {
+            *existing = element;
+        } else {
+            self.elements.push(element);
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` when the library has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Looks up an element by name.
+    pub fn element(&self, name: &str) -> Option<&LibraryElement> {
+        self.elements.iter().find(|e| e.name() == name)
+    }
+
+    /// Iterates over all elements.
+    pub fn iter(&self) -> impl Iterator<Item = &LibraryElement> + '_ {
+        self.elements.iter()
+    }
+
+    /// Elements from a specific source library.
+    pub fn from_source(&self, source: LibrarySource) -> Vec<&LibraryElement> {
+        self.elements.iter().filter(|e| e.source() == source).collect()
+    }
+
+    /// Merges another library into this one (its elements override same-named
+    /// ones here).
+    pub fn merge(&mut self, other: &Library) {
+        for e in other.iter() {
+            self.push(e.clone());
+        }
+    }
+
+    /// Builds the union of several libraries under a new name.
+    pub fn union(name: &str, parts: &[&Library]) -> Library {
+        let mut out = Library::new(name);
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
+    /// Elements with the same functionality (identical polynomial modulo the
+    /// output symbol) as `element` — the alternatives the selection process
+    /// chooses among (§3.1).
+    pub fn alternatives(&self, element: &LibraryElement) -> Vec<&LibraryElement> {
+        self.elements
+            .iter()
+            .filter(|e| e.name() != element.name() && e.polynomial() == element.polynomial())
+            .collect()
+    }
+}
+
+impl fmt::Display for Library {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "library `{}` ({} elements)", self.name, self.elements.len())?;
+        for e in &self.elements {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<LibraryElement> for Library {
+    fn extend<T: IntoIterator<Item = LibraryElement>>(&mut self, iter: T) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmap_algebra::poly::Poly;
+
+    fn element(name: &str, poly: &str, source: LibrarySource, cycles: u64) -> LibraryElement {
+        LibraryElement::builder(name, &format!("{name}_out"))
+            .polynomial(Poly::parse(poly).unwrap())
+            .cycles(cycles)
+            .source(source)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut lib = Library::new("test");
+        assert!(lib.is_empty());
+        lib.push(element("a", "x + y", LibrarySource::InHouse, 5));
+        lib.push(element("b", "x*y", LibrarySource::Ipp, 2));
+        assert_eq!(lib.len(), 2);
+        assert!(lib.element("a").is_some());
+        assert!(lib.element("zzz").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_replace() {
+        let mut lib = Library::new("test");
+        lib.push(element("a", "x + y", LibrarySource::InHouse, 5));
+        lib.push(element("a", "x + y", LibrarySource::InHouse, 3));
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.element("a").unwrap().cycles(), 3);
+    }
+
+    #[test]
+    fn filter_by_source_and_union() {
+        let mut lm = Library::new("lm");
+        lm.push(element("exp", "1 + x", LibrarySource::LinuxMath, 900));
+        let mut ih = Library::new("ih");
+        ih.push(element("exp_fixed", "1 + x", LibrarySource::InHouse, 40));
+        let all = Library::union("all", &[&lm, &ih]);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all.from_source(LibrarySource::LinuxMath).len(), 1);
+        assert_eq!(all.from_source(LibrarySource::Ipp).len(), 0);
+    }
+
+    #[test]
+    fn alternatives_share_functionality() {
+        let mut lib = Library::new("test");
+        lib.push(element("exp_double", "1 + x", LibrarySource::LinuxMath, 900));
+        lib.push(element("exp_fixed", "1 + x", LibrarySource::InHouse, 40));
+        lib.push(element("log_fixed", "x - 1", LibrarySource::InHouse, 50));
+        let e = lib.element("exp_double").unwrap().clone();
+        let alts = lib.alternatives(&e);
+        assert_eq!(alts.len(), 1);
+        assert_eq!(alts[0].name(), "exp_fixed");
+    }
+
+    #[test]
+    fn extend_and_display() {
+        let mut lib = Library::new("test");
+        lib.extend(vec![element("a", "x", LibrarySource::Ipp, 1)]);
+        let s = lib.to_string();
+        assert!(s.contains("library `test`"));
+        assert!(s.contains("a [IPP]"));
+    }
+}

@@ -1,0 +1,132 @@
+//! MPEG-style compliance testing.
+//!
+//! The paper validates every optimization step against the MPEG compliance
+//! test [17]: the RMS error between the reference decoder's output and the
+//! optimized decoder's output determines the level of conformance. This module
+//! reproduces that accept/reject decision so the mapper has an accuracy
+//! feedback routine.
+
+use serde::{Deserialize, Serialize};
+
+/// Conformance levels defined by the ISO compliance procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComplianceLevel {
+    /// RMS error below the full-accuracy threshold.
+    FullAccuracy,
+    /// RMS error below the limited-accuracy threshold but above full accuracy.
+    LimitedAccuracy,
+    /// RMS error too large: the decoder does not conform.
+    NonConforming,
+}
+
+/// Full-accuracy RMS threshold (relative to full-scale ±1.0 samples):
+/// the ISO criterion of `2^-15 / sqrt(12)` for 16-bit output.
+pub const FULL_ACCURACY_RMS: f64 = 8.8e-6;
+/// Limited-accuracy RMS threshold (`2^-11 / sqrt(12)`).
+pub const LIMITED_ACCURACY_RMS: f64 = 1.41e-4;
+
+/// The result of comparing a decoder's output against the reference output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComplianceReport {
+    /// Root-mean-square error over all compared samples.
+    pub rms_error: f64,
+    /// Largest absolute single-sample error.
+    pub max_error: f64,
+    /// Number of samples compared.
+    pub samples: usize,
+    /// The resulting conformance level.
+    pub level: ComplianceLevel,
+}
+
+impl ComplianceReport {
+    /// Returns `true` when the decoder conforms at least at limited accuracy —
+    /// the "sufficient accuracy" test used by the mapping algorithm.
+    pub fn is_sufficient(&self) -> bool {
+        self.level != ComplianceLevel::NonConforming
+    }
+}
+
+/// Compares candidate PCM output against reference PCM output.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn compare(reference: &[f64], candidate: &[f64]) -> ComplianceReport {
+    assert_eq!(reference.len(), candidate.len(), "outputs must have equal length");
+    if reference.is_empty() {
+        return ComplianceReport {
+            rms_error: 0.0,
+            max_error: 0.0,
+            samples: 0,
+            level: ComplianceLevel::FullAccuracy,
+        };
+    }
+    let mut sum_sq = 0.0;
+    let mut max_error: f64 = 0.0;
+    for (r, c) in reference.iter().zip(candidate) {
+        let e = (r - c).abs();
+        sum_sq += e * e;
+        max_error = max_error.max(e);
+    }
+    let rms_error = (sum_sq / reference.len() as f64).sqrt();
+    let level = if rms_error <= FULL_ACCURACY_RMS {
+        ComplianceLevel::FullAccuracy
+    } else if rms_error <= LIMITED_ACCURACY_RMS {
+        ComplianceLevel::LimitedAccuracy
+    } else {
+        ComplianceLevel::NonConforming
+    };
+    ComplianceReport { rms_error, max_error, samples: reference.len(), level }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_outputs_are_fully_accurate() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let report = compare(&samples, &samples);
+        assert_eq!(report.level, ComplianceLevel::FullAccuracy);
+        assert_eq!(report.rms_error, 0.0);
+        assert!(report.is_sufficient());
+    }
+
+    #[test]
+    fn small_quantization_noise_is_limited_accuracy() {
+        let reference: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let candidate: Vec<f64> =
+            reference.iter().enumerate().map(|(i, &v)| v + if i % 2 == 0 { 5e-5 } else { -5e-5 }).collect();
+        let report = compare(&reference, &candidate);
+        assert_eq!(report.level, ComplianceLevel::LimitedAccuracy);
+        assert!(report.is_sufficient());
+        assert!(report.max_error >= 5e-5);
+    }
+
+    #[test]
+    fn gross_errors_do_not_conform() {
+        let reference = vec![0.0; 100];
+        let candidate = vec![0.01; 100];
+        let report = compare(&reference, &candidate);
+        assert_eq!(report.level, ComplianceLevel::NonConforming);
+        assert!(!report.is_sufficient());
+    }
+
+    #[test]
+    fn empty_comparison_is_trivially_accurate() {
+        let report = compare(&[], &[]);
+        assert_eq!(report.samples, 0);
+        assert_eq!(report.level, ComplianceLevel::FullAccuracy);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        compare(&[0.0], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn thresholds_are_ordered() {
+        assert!(FULL_ACCURACY_RMS < LIMITED_ACCURACY_RMS);
+    }
+}

@@ -1,0 +1,260 @@
+//! Huffman coding of quantized spectral values.
+//!
+//! Layer III Huffman-codes spectral values in pairs with escape codes for
+//! large magnitudes. The reproduction uses one canonical code table built from
+//! a fixed value-pair frequency model (rather than the 32 tables of the
+//! standard); the decode loop has the same structure — bit-serial tree walk,
+//! sign bits, escape linbits — so its control/ALU cost profile matches the
+//! `III_hufman_decode` row of the paper's profiles.
+
+use symmap_platform::cost::{InstructionClass, OpCounts};
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Largest magnitude representable without an escape code.
+pub const MAX_DIRECT: i32 = 15;
+/// Number of linbits used by the escape code.
+pub const LINBITS: u8 = 13;
+
+/// A canonical Huffman code for value pairs `(|x|, |y|)` with `|x|, |y| <= 15`.
+#[derive(Debug, Clone)]
+pub struct HuffmanTable {
+    /// `codes[x][y] = (code, length)`.
+    codes: Vec<Vec<(u32, u8)>>,
+    /// Reverse map `(length, code) -> (x, y)` for bit-serial decoding.
+    decode_map: std::collections::BTreeMap<(u8, u32), (u32, u32)>,
+}
+
+impl HuffmanTable {
+    /// The table used by the synthetic stream: code lengths grow with the sum
+    /// of the pair magnitudes, which mimics the statistics of real audio
+    /// (small values are overwhelmingly more common).
+    pub fn standard() -> Self {
+        // Assign lengths by magnitude sum, then build canonical codes.
+        let mut symbols: Vec<(usize, usize, u8)> = Vec::new();
+        for x in 0..=MAX_DIRECT as usize {
+            for y in 0..=MAX_DIRECT as usize {
+                let len = match x + y {
+                    0 => 1,
+                    1 => 3,
+                    2 => 5,
+                    3..=4 => 7,
+                    5..=7 => 9,
+                    8..=11 => 11,
+                    12..=17 => 13,
+                    _ => 15,
+                };
+                symbols.push((x, y, len));
+            }
+        }
+        // Canonical code assignment: sort by (length, x, y).
+        symbols.sort_by_key(|&(x, y, len)| (len, x, y));
+        let mut codes = vec![vec![(0_u32, 0_u8); MAX_DIRECT as usize + 1]; MAX_DIRECT as usize + 1];
+        let mut decode_map = std::collections::BTreeMap::new();
+        let mut code = 0_u32;
+        let mut prev_len = symbols[0].2;
+        for &(x, y, len) in &symbols {
+            code <<= len - prev_len;
+            prev_len = len;
+            codes[x][y] = (code, len);
+            decode_map.insert((len, code), (x as u32, y as u32));
+            code += 1;
+        }
+        HuffmanTable { codes, decode_map }
+    }
+
+    /// Code and length for a magnitude pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either magnitude exceeds [`MAX_DIRECT`].
+    pub fn code(&self, x: u32, y: u32) -> (u32, u8) {
+        self.codes[x as usize][y as usize]
+    }
+
+    /// Decodes one magnitude pair by walking the canonical code bit by bit.
+    /// Returns `None` on a truncated stream.
+    pub fn decode_pair(&self, reader: &mut BitReader<'_>, ops: &mut OpCounts) -> Option<(u32, u32)> {
+        let mut code = 0_u32;
+        let mut len = 0_u8;
+        loop {
+            code = (code << 1) | reader.read_bit()? as u32;
+            len += 1;
+            ops.add(InstructionClass::IntAlu, 2);
+            ops.add(InstructionClass::Branch, 1);
+            // One table probe per accumulated bit, as a real table-driven
+            // decoder would issue.
+            ops.add(InstructionClass::TableLookup, 1);
+            if let Some(&(x, y)) = self.decode_map.get(&(len, code)) {
+                return Some((x, y));
+            }
+            if len > 20 {
+                return None;
+            }
+        }
+    }
+}
+
+/// Encodes a slice of quantized values (pairwise) into a bit stream.
+pub fn encode(values: &[i32], table: &HuffmanTable) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for pair in values.chunks(2) {
+        let x = pair[0];
+        let y = if pair.len() > 1 { pair[1] } else { 0 };
+        let (cx, cy) = (clamp_mag(x), clamp_mag(y));
+        let (code, len) = table.code(cx, cy);
+        w.write_bits(code, len);
+        // Escape linbits for magnitudes above the direct range.
+        if cx == MAX_DIRECT as u32 {
+            w.write_bits((x.unsigned_abs() - MAX_DIRECT as u32) & ((1 << LINBITS) - 1), LINBITS);
+        }
+        if cy == MAX_DIRECT as u32 {
+            w.write_bits((y.unsigned_abs() - MAX_DIRECT as u32) & ((1 << LINBITS) - 1), LINBITS);
+        }
+        // Sign bits for non-zero values.
+        if x != 0 {
+            w.write_bits((x < 0) as u32, 1);
+        }
+        if y != 0 {
+            w.write_bits((y < 0) as u32, 1);
+        }
+    }
+    w.into_bytes()
+}
+
+fn clamp_mag(v: i32) -> u32 {
+    v.unsigned_abs().min(MAX_DIRECT as u32)
+}
+
+/// Decodes `count` quantized values from a bit stream, accumulating the
+/// dynamic operation counts of the decode loop into `ops`.
+pub fn decode(
+    bytes: &[u8],
+    count: usize,
+    table: &HuffmanTable,
+    ops: &mut OpCounts,
+) -> Option<Vec<i32>> {
+    let mut reader = BitReader::new(bytes);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let (mx, my) = table.decode_pair(&mut reader, ops)?;
+        let mut vals = [mx, my];
+        for v in vals.iter_mut() {
+            if *v == MAX_DIRECT as u32 {
+                let lin = reader.read_bits(LINBITS)?;
+                *v += lin;
+                ops.add(InstructionClass::IntAlu, 1);
+            }
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            if out.len() >= count && i == 1 {
+                break;
+            }
+            let signed = if v != 0 {
+                let sign = reader.read_bit()?;
+                ops.add(InstructionClass::Branch, 1);
+                if sign == 1 {
+                    -(v as i32)
+                } else {
+                    v as i32
+                }
+            } else {
+                0
+            };
+            ops.add(InstructionClass::Store, 1);
+            out.push(signed);
+            if out.len() == count {
+                break;
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let t = HuffmanTable::standard();
+        let mut all: Vec<(u32, u8)> = Vec::new();
+        for x in 0..=MAX_DIRECT as u32 {
+            for y in 0..=MAX_DIRECT as u32 {
+                all.push(t.code(x, y));
+            }
+        }
+        for (i, &(ci, li)) in all.iter().enumerate() {
+            for (j, &(cj, lj)) in all.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if li <= lj {
+                    assert_ne!(ci, cj >> (lj - li), "code {i} is a prefix of code {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_get_short_codes() {
+        let t = HuffmanTable::standard();
+        assert!(t.code(0, 0).1 < t.code(5, 5).1);
+        assert!(t.code(1, 0).1 < t.code(15, 15).1);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = HuffmanTable::standard();
+        let values: Vec<i32> = vec![0, 1, -1, 3, -7, 15, 0, 0, 2, -2, 14, -15, 9, 0, -4, 5];
+        let bytes = encode(&values, &t);
+        let mut ops = OpCounts::new();
+        let decoded = decode(&bytes, values.len(), &t, &mut ops).unwrap();
+        assert_eq!(decoded, values);
+        assert!(ops.total() > 0);
+    }
+
+    #[test]
+    fn escape_values_round_trip() {
+        let t = HuffmanTable::standard();
+        let values: Vec<i32> = vec![100, -200, 15, -15, 4095, 0];
+        let bytes = encode(&values, &t);
+        let mut ops = OpCounts::new();
+        let decoded = decode(&bytes, values.len(), &t, &mut ops).unwrap();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn truncated_stream_returns_none() {
+        let t = HuffmanTable::standard();
+        let values: Vec<i32> = vec![3; 64];
+        let mut bytes = encode(&values, &t);
+        bytes.truncate(2);
+        let mut ops = OpCounts::new();
+        assert!(decode(&bytes, values.len(), &t, &mut ops).is_none());
+    }
+
+    #[test]
+    fn odd_length_input() {
+        let t = HuffmanTable::standard();
+        let values: Vec<i32> = vec![1, -2, 3];
+        let bytes = encode(&values, &t);
+        let mut ops = OpCounts::new();
+        let decoded = decode(&bytes, values.len(), &t, &mut ops).unwrap();
+        assert_eq!(decoded, values);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_round_trip(values in proptest::collection::vec(-4000_i32..4000, 2..120)) {
+            let t = HuffmanTable::standard();
+            let bytes = encode(&values, &t);
+            let mut ops = OpCounts::new();
+            let decoded = decode(&bytes, values.len(), &t, &mut ops).unwrap();
+            prop_assert_eq!(decoded, values);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # symmap-mp3
+//!
+//! An MP3-decoder-style workload: the application the DAC 2002 paper optimizes.
+//!
+//! The decoder follows the structure of the ISO reference implementation the
+//! paper starts from — Huffman decoding, requantization, stereo processing,
+//! antialiasing, the inverse modified DCT (IMDCT) and the polyphase subband
+//! synthesis filterbank — and provides each arithmetic kernel in three
+//! variants matching the three libraries of the paper:
+//!
+//! * **reference** — straightforward double-precision code in the style of the
+//!   standards-body sources (runs on the software float emulator of the
+//!   FPU-less StrongARM, hence the two-orders-of-magnitude penalty),
+//! * **fixed** — in-house ("IH") fixed-point kernels,
+//! * **ipp** — hand-optimized fixed-point kernels standing in for Intel's
+//!   Integrated Performance Primitives.
+//!
+//! Real MP3 bitstreams are replaced by a deterministic synthetic granule
+//! generator (see `DESIGN.md` for the substitution argument); the synthetic
+//! frames still pass through Huffman coding, requantization and the full
+//! filterbank, so the per-function cost profile has the same shape as the
+//! paper's Tables 3–5.
+//!
+//! ```
+//! use symmap_mp3::decoder::{Decoder, KernelSet};
+//! use symmap_mp3::frame::FrameGenerator;
+//! use symmap_platform::profiler::Profiler;
+//!
+//! let frame = FrameGenerator::new(7).frame();
+//! let profiler = Profiler::new();
+//! let pcm = Decoder::new(KernelSet::reference()).decode_frame(&frame, &profiler);
+//! assert_eq!(pcm.len(), symmap_mp3::types::SAMPLES_PER_GRANULE * symmap_mp3::types::GRANULES_PER_FRAME);
+//! ```
+
+pub mod antialias;
+pub mod bitstream;
+pub mod compliance;
+pub mod decoder;
+pub mod dequant;
+pub mod frame;
+pub mod huffman;
+pub mod hybrid;
+pub mod imdct;
+pub mod stereo;
+pub mod synthesis;
+pub mod types;
+
+pub use compliance::{ComplianceLevel, ComplianceReport};
+pub use decoder::{Decoder, KernelSet, KernelVariant};
+pub use frame::FrameGenerator;

@@ -1,0 +1,365 @@
+//! Q-format fixed-point arithmetic.
+//!
+//! The StrongARM SA-1110 of the Badge4 has no floating-point unit, so the
+//! paper's in-house ("IH") library replaces every floating-point operation with
+//! fixed point. [`Fixed`] models a signed fixed-point value with a runtime
+//! [`QFormat`] (integer bits, fractional bits) on top of an `i64` accumulator,
+//! with saturation and round-to-nearest, matching the behaviour of typical
+//! hand-written embedded fixed-point kernels.
+//!
+//! ```
+//! use symmap_numeric::fixed::{Fixed, QFormat};
+//!
+//! let q15 = QFormat::Q15;
+//! let a = Fixed::from_f64(0.5, q15);
+//! let b = Fixed::from_f64(0.25, q15);
+//! assert!((a.mul(b).to_f64() - 0.125).abs() < 1e-4);
+//! ```
+
+use std::fmt;
+
+use crate::error::NumericError;
+
+/// A fixed-point format `Qm.n`: `m` integer bits (excluding sign) and `n`
+/// fractional bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    int_bits: u8,
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// Q0.15: the classic 16-bit audio sample format.
+    pub const Q15: QFormat = QFormat { int_bits: 0, frac_bits: 15 };
+    /// Q0.31: 32-bit high-precision audio format (used by IPP-style kernels).
+    pub const Q31: QFormat = QFormat { int_bits: 0, frac_bits: 31 };
+    /// Q16.15: a general-purpose 32-bit format with headroom for intermediate sums.
+    pub const Q16_15: QFormat = QFormat { int_bits: 16, frac_bits: 15 };
+    /// Q8.23: format used by the in-house IMDCT of the reproduction.
+    pub const Q8_23: QFormat = QFormat { int_bits: 8, frac_bits: 23 };
+
+    /// Creates a new format with `int_bits` integer and `frac_bits` fractional bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidFormat`] if the total width (including the
+    /// sign bit) exceeds 63 bits or if `frac_bits` is zero.
+    pub fn new(int_bits: u8, frac_bits: u8) -> Result<Self, NumericError> {
+        if frac_bits == 0 || int_bits as u32 + frac_bits as u32 > 62 {
+            return Err(NumericError::InvalidFormat(format!("Q{int_bits}.{frac_bits}")));
+        }
+        Ok(QFormat { int_bits, frac_bits })
+    }
+
+    /// Number of integer bits (excluding the sign bit).
+    pub fn int_bits(&self) -> u8 {
+        self.int_bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// The scale factor `2^frac_bits`.
+    pub fn scale(&self) -> i64 {
+        1_i64 << self.frac_bits
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> i64 {
+        (1_i64 << (self.int_bits as u32 + self.frac_bits as u32)) - 1
+    }
+
+    /// Smallest representable value.
+    pub fn min_value(&self) -> i64 {
+        -(1_i64 << (self.int_bits as u32 + self.frac_bits as u32))
+    }
+
+    /// Quantization step in real units.
+    pub fn resolution(&self) -> f64 {
+        1.0 / self.scale() as f64
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+/// A signed fixed-point number in a given [`QFormat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fixed {
+    /// Zero in the given format.
+    pub fn zero(format: QFormat) -> Self {
+        Fixed { raw: 0, format }
+    }
+
+    /// One in the given format (saturates if the format has no integer bits).
+    pub fn one(format: QFormat) -> Self {
+        Fixed::from_f64(1.0, format)
+    }
+
+    /// Converts a real value into fixed point with round-to-nearest and
+    /// saturation.
+    pub fn from_f64(v: f64, format: QFormat) -> Self {
+        let scaled = (v * format.scale() as f64).round();
+        let raw = if scaled.is_nan() {
+            0
+        } else if scaled >= format.max_value() as f64 {
+            format.max_value()
+        } else if scaled <= format.min_value() as f64 {
+            format.min_value()
+        } else {
+            scaled as i64
+        };
+        Fixed { raw, format }
+    }
+
+    /// Builds a value directly from its raw integer representation, saturating
+    /// to the format's range.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        Fixed { raw: raw.clamp(format.min_value(), format.max_value()), format }
+    }
+
+    /// The raw scaled-integer representation.
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The format of this value.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Converts back to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 / self.format.scale() as f64
+    }
+
+    /// Saturating fixed-point addition. Both operands must share a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ.
+    pub fn add(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "fixed-point format mismatch");
+        Fixed::from_raw(self.raw.saturating_add(rhs.raw), self.format)
+    }
+
+    /// Saturating fixed-point subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ.
+    pub fn sub(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "fixed-point format mismatch");
+        Fixed::from_raw(self.raw.saturating_sub(rhs.raw), self.format)
+    }
+
+    /// Fixed-point multiplication with a widened intermediate product and
+    /// round-to-nearest, as a MAC unit would compute it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ.
+    pub fn mul(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "fixed-point format mismatch");
+        let wide = self.raw as i128 * rhs.raw as i128;
+        let half = 1_i128 << (self.format.frac_bits - 1);
+        let rounded = (wide + half) >> self.format.frac_bits;
+        let clamped =
+            rounded.clamp(self.format.min_value() as i128, self.format.max_value() as i128);
+        Fixed { raw: clamped as i64, format: self.format }
+    }
+
+    /// Fixed-point division with a widened intermediate dividend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DivisionByZero`] when `rhs` is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ.
+    pub fn div(self, rhs: Fixed) -> Result<Fixed, NumericError> {
+        assert_eq!(self.format, rhs.format, "fixed-point format mismatch");
+        if rhs.raw == 0 {
+            return Err(NumericError::DivisionByZero);
+        }
+        let wide = (self.raw as i128) << self.format.frac_bits;
+        let q = wide / rhs.raw as i128;
+        let clamped = q.clamp(self.format.min_value() as i128, self.format.max_value() as i128);
+        Ok(Fixed { raw: clamped as i64, format: self.format })
+    }
+
+    /// Negation (saturating at the most negative value).
+    pub fn neg(self) -> Fixed {
+        Fixed::from_raw(self.raw.saturating_neg(), self.format)
+    }
+
+    /// Converts to another format, shifting the raw representation and
+    /// saturating.
+    pub fn convert(self, target: QFormat) -> Fixed {
+        let diff = target.frac_bits as i32 - self.format.frac_bits as i32;
+        let raw = if diff >= 0 {
+            (self.raw as i128) << diff
+        } else {
+            let shift = (-diff) as u32;
+            let half = 1_i128 << (shift - 1);
+            ((self.raw as i128) + half) >> shift
+        };
+        let clamped = raw.clamp(target.min_value() as i128, target.max_value() as i128);
+        Fixed { raw: clamped as i64, format: target }
+    }
+
+    /// Absolute quantization error against a reference real value.
+    pub fn error_against(&self, reference: f64) -> f64 {
+        (self.to_f64() - reference).abs()
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+/// Computes the root-mean-square error between a fixed-point rendering of
+/// `values` and the original real values, the metric used by the MPEG
+/// compliance test to accept or reject an optimized decoder.
+pub fn quantization_rms(values: &[f64], format: QFormat) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values
+        .iter()
+        .map(|&v| {
+            let e = Fixed::from_f64(v, format).to_f64() - v;
+            e * e
+        })
+        .sum();
+    (sum / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn format_construction_limits() {
+        assert!(QFormat::new(0, 15).is_ok());
+        assert!(QFormat::new(30, 31).is_ok());
+        assert!(QFormat::new(0, 0).is_err());
+        assert!(QFormat::new(40, 31).is_err());
+        assert_eq!(QFormat::Q15.to_string(), "Q0.15");
+    }
+
+    #[test]
+    fn round_trip_small_values() {
+        let fmt = QFormat::Q16_15;
+        for v in [-3.5, -0.25, 0.0, 0.125, 1.0, 100.75] {
+            let f = Fixed::from_f64(v, fmt);
+            assert!((f.to_f64() - v).abs() <= fmt.resolution());
+        }
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        let fmt = QFormat::Q15;
+        assert_eq!(Fixed::from_f64(10.0, fmt).raw(), fmt.max_value());
+        assert_eq!(Fixed::from_f64(-10.0, fmt).raw(), fmt.min_value());
+        let max = Fixed::from_raw(fmt.max_value(), fmt);
+        assert_eq!(max.add(max).raw(), fmt.max_value());
+    }
+
+    #[test]
+    fn multiplication_accuracy() {
+        let fmt = QFormat::Q31;
+        let a = Fixed::from_f64(0.7071, fmt);
+        let b = Fixed::from_f64(0.7071, fmt);
+        assert!((a.mul(b).to_f64() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn division() {
+        let fmt = QFormat::Q16_15;
+        let a = Fixed::from_f64(3.0, fmt);
+        let b = Fixed::from_f64(4.0, fmt);
+        assert!((a.div(b).unwrap().to_f64() - 0.75).abs() < 1e-3);
+        assert!(a.div(Fixed::zero(fmt)).is_err());
+    }
+
+    #[test]
+    fn conversion_between_formats() {
+        let v = Fixed::from_f64(0.333, QFormat::Q31);
+        let down = v.convert(QFormat::Q15);
+        assert!((down.to_f64() - 0.333).abs() < 1e-4);
+        let up = down.convert(QFormat::Q31);
+        assert!((up.to_f64() - 0.333).abs() < 1e-4);
+    }
+
+    #[test]
+    fn neg_saturates() {
+        let fmt = QFormat::Q15;
+        let min = Fixed::from_raw(fmt.min_value(), fmt);
+        assert_eq!(min.neg().raw(), fmt.max_value());
+        assert_eq!(Fixed::from_f64(0.5, fmt).neg().to_f64(), -0.5);
+    }
+
+    #[test]
+    fn quantization_rms_decreases_with_precision() {
+        let samples: Vec<f64> = (0..1000).map(|i| ((i as f64) * 0.013).sin() * 0.9).collect();
+        let coarse = quantization_rms(&samples, QFormat::Q15);
+        let fine = quantization_rms(&samples, QFormat::Q31);
+        assert!(fine < coarse);
+        assert!(coarse < 1e-4);
+        assert_eq!(quantization_rms(&[], QFormat::Q15), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn mixed_format_add_panics() {
+        let a = Fixed::from_f64(0.5, QFormat::Q15);
+        let b = Fixed::from_f64(0.5, QFormat::Q31);
+        let _ = a.add(b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_error_bounded(v in -0.99_f64..0.99) {
+            let f = Fixed::from_f64(v, QFormat::Q15);
+            prop_assert!((f.to_f64() - v).abs() <= QFormat::Q15.resolution());
+        }
+
+        #[test]
+        fn prop_add_matches_real(a in -0.4_f64..0.4, b in -0.4_f64..0.4) {
+            let fmt = QFormat::Q31;
+            let fa = Fixed::from_f64(a, fmt);
+            let fb = Fixed::from_f64(b, fmt);
+            prop_assert!((fa.add(fb).to_f64() - (a + b)).abs() < 4.0 * fmt.resolution());
+        }
+
+        #[test]
+        fn prop_mul_matches_real(a in -0.9_f64..0.9, b in -0.9_f64..0.9) {
+            let fmt = QFormat::Q31;
+            let fa = Fixed::from_f64(a, fmt);
+            let fb = Fixed::from_f64(b, fmt);
+            prop_assert!((fa.mul(fb).to_f64() - a * b).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_raw_stays_in_range(v in -1000.0_f64..1000.0) {
+            let fmt = QFormat::Q16_15;
+            let f = Fixed::from_f64(v, fmt);
+            prop_assert!(f.raw() >= fmt.min_value() && f.raw() <= fmt.max_value());
+        }
+    }
+}

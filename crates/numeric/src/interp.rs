@@ -1,0 +1,218 @@
+//! Exact polynomial interpolation.
+//!
+//! The paper (§3.2, following Smith & De Micheli [22]) recovers polynomial
+//! representations of procedures that perform *bit manipulations or Boolean
+//! functions* by interpolation: sample the word-level function on enough
+//! points and reconstruct the unique low-degree polynomial through them. This
+//! module provides exact Newton interpolation over [`Rational`] and a helper
+//! that identifies the minimal-degree polynomial consistent with a sampled
+//! integer function.
+//!
+//! ```
+//! use symmap_numeric::interp::newton_interpolate;
+//! use symmap_numeric::rational::Rational;
+//!
+//! // Points of f(x) = x^2 + 1.
+//! let pts: Vec<(Rational, Rational)> = (0..4)
+//!     .map(|x| (Rational::integer(x), Rational::integer(x * x + 1)))
+//!     .collect();
+//! let coeffs = newton_interpolate(&pts).unwrap();
+//! assert_eq!(coeffs, vec![
+//!     Rational::integer(1),
+//!     Rational::integer(0),
+//!     Rational::integer(1),
+//! ]);
+//! ```
+
+use crate::error::NumericError;
+use crate::rational::Rational;
+
+/// Interpolates the unique polynomial of degree `< points.len()` through the
+/// given `(x, y)` pairs and returns its monomial coefficients
+/// `[c0, c1, ...]` (constant term first), trimmed of trailing zeros.
+///
+/// # Errors
+///
+/// Returns [`NumericError::Domain`] if two points share an `x` coordinate or
+/// the input is empty.
+pub fn newton_interpolate(points: &[(Rational, Rational)]) -> Result<Vec<Rational>, NumericError> {
+    if points.is_empty() {
+        return Err(NumericError::Domain("no interpolation points".into()));
+    }
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            if points[i].0 == points[j].0 {
+                return Err(NumericError::Domain(format!(
+                    "duplicate interpolation abscissa {}",
+                    points[i].0
+                )));
+            }
+        }
+    }
+    let n = points.len();
+    // Divided differences.
+    let mut table: Vec<Rational> = points.iter().map(|(_, y)| y.clone()).collect();
+    let mut newton_coeffs = Vec::with_capacity(n);
+    newton_coeffs.push(table[0].clone());
+    for level in 1..n {
+        for i in (level..n).rev() {
+            let dx = &points[i].0 - &points[i - level].0;
+            table[i] = &(&table[i] - &table[i - 1]) / &dx;
+        }
+        newton_coeffs.push(table[level].clone());
+    }
+    // Expand the Newton form Σ a_k Π_{j<k} (x - x_j) into monomial basis.
+    let mut coeffs = vec![Rational::zero(); n];
+    let mut basis = vec![Rational::one()]; // product polynomial, degree grows
+    for (k, a) in newton_coeffs.iter().enumerate() {
+        for (i, b) in basis.iter().enumerate() {
+            coeffs[i] = &coeffs[i] + &(a * b);
+        }
+        if k + 1 < n {
+            // basis *= (x - x_k)
+            let xk = &points[k].0;
+            let mut next = vec![Rational::zero(); basis.len() + 1];
+            for (i, b) in basis.iter().enumerate() {
+                next[i + 1] = &next[i + 1] + b;
+                next[i] = &next[i] - &(b * xk);
+            }
+            basis = next;
+        }
+    }
+    while coeffs.len() > 1 && coeffs.last().map_or(false, Rational::is_zero) {
+        coeffs.pop();
+    }
+    Ok(coeffs)
+}
+
+/// Evaluates a dense univariate rational polynomial at `x` (Horner's rule).
+pub fn eval_rational_poly(coeffs: &[Rational], x: &Rational) -> Rational {
+    coeffs.iter().rev().fold(Rational::zero(), |acc, c| &(&acc * x) + c)
+}
+
+/// Attempts to identify the minimal-degree polynomial representation of an
+/// integer word-level function `f` by sampling it on `0..=max_degree + 1`
+/// points and verifying the reconstruction on `verify_points` extra samples.
+///
+/// Returns `None` when no polynomial of degree at most `max_degree` matches —
+/// the signal used by the identification step to fall back to a series
+/// approximation or to leave the code block unmapped.
+pub fn identify_integer_function(
+    f: impl Fn(i64) -> i64,
+    max_degree: usize,
+    verify_points: usize,
+) -> Option<Vec<Rational>> {
+    let sample_count = max_degree + 1;
+    let points: Vec<(Rational, Rational)> = (0..sample_count as i64)
+        .map(|x| (Rational::integer(x), Rational::integer(f(x))))
+        .collect();
+    let coeffs = newton_interpolate(&points).ok()?;
+    if coeffs.len() > max_degree + 1 {
+        return None;
+    }
+    for i in 0..verify_points as i64 {
+        let x = sample_count as i64 + i;
+        if eval_rational_poly(&coeffs, &Rational::integer(x)) != Rational::integer(f(x)) {
+            return None;
+        }
+    }
+    Some(coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(v: i64) -> Rational {
+        Rational::integer(v)
+    }
+
+    #[test]
+    fn interpolates_constant() {
+        let c = newton_interpolate(&[(r(0), r(7))]).unwrap();
+        assert_eq!(c, vec![r(7)]);
+    }
+
+    #[test]
+    fn interpolates_line() {
+        let pts = vec![(r(0), r(1)), (r(2), r(5))];
+        let c = newton_interpolate(&pts).unwrap();
+        assert_eq!(c, vec![r(1), r(2)]);
+    }
+
+    #[test]
+    fn interpolates_cubic_with_rational_points() {
+        // f(x) = x^3 - x/2 + 1/3
+        let f = |x: &Rational| {
+            &(&(x * x) * x) - &(&(x * &Rational::new(1, 2)) - &Rational::new(1, 3))
+        };
+        let xs = [r(-2), r(-1), r(0), r(1), r(2)];
+        let pts: Vec<_> = xs.iter().map(|x| (x.clone(), f(x))).collect();
+        let c = newton_interpolate(&pts).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[3], r(1));
+        assert_eq!(c[1], Rational::new(-1, 2));
+        assert_eq!(c[0], Rational::new(1, 3));
+    }
+
+    #[test]
+    fn rejects_duplicate_abscissae_and_empty_input() {
+        assert!(newton_interpolate(&[(r(1), r(2)), (r(1), r(3))]).is_err());
+        assert!(newton_interpolate(&[]).is_err());
+    }
+
+    #[test]
+    fn identify_square_function() {
+        let coeffs = identify_integer_function(|x| x * x + 3 * x + 2, 4, 8).unwrap();
+        assert_eq!(coeffs, vec![r(2), r(3), r(1)]);
+    }
+
+    #[test]
+    fn identify_rejects_non_polynomial() {
+        // 2^x grows faster than any polynomial of degree <= 5.
+        assert!(identify_integer_function(|x| 1_i64 << x.min(40), 5, 10).is_none());
+    }
+
+    #[test]
+    fn identify_bit_trick_doubling() {
+        // x << 1 is the polynomial 2x: the paper's example of a bit
+        // manipulation with an exact polynomial model.
+        let coeffs = identify_integer_function(|x| x << 1, 3, 6).unwrap();
+        assert_eq!(coeffs, vec![r(0), r(2)]);
+    }
+
+    #[test]
+    fn eval_rational_poly_matches_manual() {
+        let coeffs = vec![r(1), r(0), r(2)]; // 1 + 2x^2
+        assert_eq!(eval_rational_poly(&coeffs, &r(3)), r(19));
+        assert_eq!(eval_rational_poly(&[], &r(3)), Rational::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interpolation_reproduces_samples(
+            coeffs in proptest::collection::vec(-20_i64..20, 1..6),
+        ) {
+            let poly: Vec<Rational> = coeffs.iter().map(|&c| r(c)).collect();
+            let pts: Vec<(Rational, Rational)> = (0..poly.len() as i64)
+                .map(|x| (r(x), eval_rational_poly(&poly, &r(x))))
+                .collect();
+            let rec = newton_interpolate(&pts).unwrap();
+            for x in -5_i64..5 {
+                prop_assert_eq!(
+                    eval_rational_poly(&rec, &r(x)),
+                    eval_rational_poly(&poly, &r(x))
+                );
+            }
+        }
+
+        #[test]
+        fn prop_identified_degree_le_true_degree(
+            a in -9_i64..9, b in -9_i64..9, c in -9_i64..9,
+        ) {
+            let coeffs = identify_integer_function(move |x| a + b * x + c * x * x, 5, 10).unwrap();
+            prop_assert!(coeffs.len() <= 3 || coeffs.iter().skip(3).all(Rational::is_zero));
+        }
+    }
+}

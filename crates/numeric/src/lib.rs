@@ -1,0 +1,40 @@
+//! # symmap-numeric
+//!
+//! Arithmetic substrate for the symmap library-mapping suite.
+//!
+//! The DAC 2002 methodology manipulates *exact* multivariate polynomials
+//! (Gröbner bases are numerically meaningless over floating point), evaluates
+//! candidate mappings in *embedded fixed-point* formats, and approximates
+//! nonlinear functions with *truncated series*. This crate provides those three
+//! numeric worlds:
+//!
+//! * [`bigint::BigInt`] — arbitrary-precision signed integers,
+//! * [`rational::Rational`] — exact rationals built on [`bigint::BigInt`],
+//! * [`fixed::Fixed`] — parameterised Q-format fixed-point values as used by the
+//!   in-house ("IH") library of the paper,
+//! * [`series`] — Taylor and Chebyshev expansions used in target-code
+//!   identification (§3.2 of the paper),
+//! * [`interp`] — Newton interpolation used to recover polynomial
+//!   representations of bit-manipulation routines (§3.2, ref. [22]).
+//!
+//! ## Example
+//!
+//! ```
+//! use symmap_numeric::rational::Rational;
+//!
+//! let a = Rational::new(1, 3);
+//! let b = Rational::new(1, 6);
+//! assert_eq!(a + b, Rational::new(1, 2));
+//! ```
+
+pub mod bigint;
+pub mod error;
+pub mod fixed;
+pub mod interp;
+pub mod rational;
+pub mod series;
+
+pub use bigint::BigInt;
+pub use error::NumericError;
+pub use fixed::{Fixed, QFormat};
+pub use rational::Rational;

@@ -1,0 +1,570 @@
+//! Exact rational numbers over [`BigInt`].
+//!
+//! Polynomial coefficients in the symbolic algebra engine are exact rationals:
+//! Gröbner-basis reduction repeatedly divides by leading coefficients, so the
+//! coefficient field must be closed under division.
+//!
+//! ```
+//! use symmap_numeric::rational::Rational;
+//!
+//! let half = Rational::new(1, 2);
+//! let third = Rational::new(1, 3);
+//! assert_eq!((half - third).to_string(), "1/6");
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::bigint::BigInt;
+use crate::error::NumericError;
+
+/// An exact rational number `numerator / denominator`.
+///
+/// Invariants: the denominator is always strictly positive and
+/// `gcd(|numerator|, denominator) == 1`; zero is represented as `0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// Creates `num / den` from small integers, reducing to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        Rational::from_bigints(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Creates `num / den` from big integers, reducing to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn from_bigints(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut r = Rational { num, den };
+        r.normalize();
+        r
+    }
+
+    /// The additive identity `0/1`.
+    pub fn zero() -> Self {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The multiplicative identity `1/1`.
+    pub fn one() -> Self {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// An integer rational `n/1`.
+    pub fn integer(n: i64) -> Self {
+        Rational { num: BigInt::from(n), den: BigInt::one() }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the value is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Returns `true` if the value is a (possibly negative) integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// The numerator (sign-carrying part).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (always strictly positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DivisionByZero`] if the value is zero.
+    pub fn recip(&self) -> Result<Self, NumericError> {
+        if self.is_zero() {
+            return Err(NumericError::DivisionByZero);
+        }
+        Ok(Rational::from_bigints(self.den.clone(), self.num.clone()))
+    }
+
+    /// Raises to an integer power (negative exponents invert).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DivisionByZero`] when raising zero to a
+    /// negative power.
+    pub fn pow(&self, exp: i32) -> Result<Self, NumericError> {
+        if exp >= 0 {
+            Ok(Rational {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            })
+        } else {
+            self.recip()?.pow(-exp)
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        // Scale to keep both parts within f64 range for large operands.
+        let nb = self.num.bits() as i64;
+        let db = self.den.bits() as i64;
+        if nb < 900 && db < 900 {
+            self.num.to_f64() / self.den.to_f64()
+        } else {
+            let shift = (nb.max(db) - 512).max(0) as u32;
+            let two = BigInt::from(2_i64);
+            let scale = two.pow(shift);
+            let (n, _) = self.num.div_rem(&scale);
+            let (d, _) = self.den.div_rem(&scale);
+            if d.is_zero() {
+                if self.num.is_negative() {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                n.to_f64() / d.to_f64()
+            }
+        }
+    }
+
+    /// Builds the exact rational equal to an `f64` (which is always a dyadic
+    /// rational), e.g. `0.5 -> 1/2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Domain`] for NaN or infinite inputs.
+    pub fn from_f64(v: f64) -> Result<Self, NumericError> {
+        if !v.is_finite() {
+            return Err(NumericError::Domain(format!("{v} is not finite")));
+        }
+        if v == 0.0 {
+            return Ok(Rational::zero());
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1_i64 } else { 1 };
+        let exp = ((bits >> 52) & 0x7FF) as i64;
+        let frac = bits & ((1_u64 << 52) - 1);
+        let (mantissa, exp2) = if exp == 0 {
+            (frac, -1074_i64)
+        } else {
+            (frac | (1 << 52), exp - 1075)
+        };
+        let mut num = BigInt::from(mantissa) * BigInt::from(sign);
+        let mut den = BigInt::one();
+        let two = BigInt::from(2_i64);
+        if exp2 >= 0 {
+            num = &num * &two.pow(exp2 as u32);
+        } else {
+            den = two.pow((-exp2) as u32);
+        }
+        Ok(Rational::from_bigints(num, den))
+    }
+
+    /// Approximates an `f64` by a rational with denominator at most
+    /// `max_den`, using a continued-fraction (Stern–Brocot) expansion. This is
+    /// how truncated-series coefficients are imported into the exact algebra
+    /// engine without dragging in 50-digit dyadic denominators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Domain`] for NaN or infinite inputs.
+    pub fn approximate_f64(v: f64, max_den: u64) -> Result<Self, NumericError> {
+        if !v.is_finite() {
+            return Err(NumericError::Domain(format!("{v} is not finite")));
+        }
+        let max_den = max_den.max(1);
+        let neg = v < 0.0;
+        let mut x = v.abs();
+        // Continued fraction convergents p/q.
+        let (mut p0, mut q0, mut p1, mut q1) = (0_u128, 1_u128, 1_u128, 0_u128);
+        for _ in 0..64 {
+            let a = x.floor();
+            if a >= u64::MAX as f64 {
+                break;
+            }
+            let a_u = a as u128;
+            let p2 = a_u.saturating_mul(p1).saturating_add(p0);
+            let q2 = a_u.saturating_mul(q1).saturating_add(q0);
+            if q2 > max_den as u128 {
+                break;
+            }
+            p0 = p1;
+            q0 = q1;
+            p1 = p2;
+            q1 = q2;
+            let frac = x - a;
+            if frac < 1e-15 {
+                break;
+            }
+            x = 1.0 / frac;
+        }
+        if q1 == 0 {
+            return Ok(Rational::zero());
+        }
+        let mut r = Rational::from_bigints(BigInt::from(p1 as u64), BigInt::from(q1 as u64));
+        if neg {
+            r = -r;
+        }
+        Ok(r)
+    }
+
+    /// Rounds toward negative infinity to the nearest integer.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    fn normalize(&mut self) {
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+            return;
+        }
+        if self.den.is_negative() {
+            self.num = -self.num.clone();
+            self.den = -self.den.clone();
+        }
+        let g = self.num.gcd(&self.den);
+        if !g.is_one() {
+            self.num = &self.num / &g;
+            self.den = &self.den / &g;
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::integer(v)
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational { num: v, den: BigInt::one() }
+    }
+}
+
+impl FromStr for Rational {
+    type Err = NumericError;
+
+    /// Parses `"3"`, `"-3/4"` or a decimal literal such as `"2.5"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt = n.trim().parse()?;
+            let den: BigInt = d.trim().parse()?;
+            if den.is_zero() {
+                return Err(NumericError::DivisionByZero);
+            }
+            return Ok(Rational::from_bigints(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(NumericError::Parse(s.to_string()));
+            }
+            let negative = int_part.trim_start().starts_with('-');
+            let int: BigInt =
+                if int_part.is_empty() || int_part == "-" { BigInt::zero() } else { int_part.parse()? };
+            let frac: BigInt = frac_part.parse()?;
+            let scale = BigInt::from(10_i64).pow(frac_part.len() as u32);
+            let mag = &int.abs() * &scale + frac;
+            let num = if negative { -mag } else { mag };
+            return Ok(Rational::from_bigints(num, scale));
+        }
+        let num: BigInt = s.parse()?;
+        Ok(Rational::from(num))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self})")
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        -self.clone()
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::from_bigints(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::from_bigints(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division by zero");
+        Rational::from_bigints(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        &self / &rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4).to_string(), "-1/2");
+        assert_eq!(Rational::new(0, 5), Rational::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Rational::new(3, 7);
+        assert_eq!(&a + &Rational::zero(), a);
+        assert_eq!(&a * &Rational::one(), a);
+        assert_eq!(&a - &a, Rational::zero());
+        assert_eq!(&a / &a, Rational::one());
+    }
+
+    #[test]
+    fn add_sub_mul_div_known_values() {
+        assert_eq!(Rational::new(1, 2) + Rational::new(1, 3), Rational::new(5, 6));
+        assert_eq!(Rational::new(1, 2) - Rational::new(1, 3), Rational::new(1, 6));
+        assert_eq!(Rational::new(2, 3) * Rational::new(3, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, 3) / Rational::new(4, 3), Rational::new(1, 2));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(Rational::new(2, 3).pow(3).unwrap(), Rational::new(8, 27));
+        assert_eq!(Rational::new(2, 3).pow(-2).unwrap(), Rational::new(9, 4));
+        assert_eq!(Rational::new(2, 3).pow(0).unwrap(), Rational::one());
+        assert!(Rational::zero().recip().is_err());
+        assert!(Rational::zero().pow(-1).is_err());
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), Rational::new(3, 4));
+        assert_eq!("-3/4".parse::<Rational>().unwrap(), Rational::new(-3, 4));
+        assert_eq!("5".parse::<Rational>().unwrap(), Rational::integer(5));
+        assert_eq!("2.5".parse::<Rational>().unwrap(), Rational::new(5, 2));
+        assert_eq!("-0.125".parse::<Rational>().unwrap(), Rational::new(-1, 8));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("a/b".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 4).to_string(), "3/4");
+        assert_eq!(Rational::integer(-7).to_string(), "-7");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
+        assert!(Rational::new(7, 7) == Rational::one());
+    }
+
+    #[test]
+    fn f64_round_trips() {
+        assert_eq!(Rational::from_f64(0.5).unwrap(), Rational::new(1, 2));
+        assert_eq!(Rational::from_f64(-0.75).unwrap(), Rational::new(-3, 4));
+        assert_eq!(Rational::from_f64(3.0).unwrap(), Rational::integer(3));
+        assert!(Rational::from_f64(f64::NAN).is_err());
+        assert!((Rational::new(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn approximate_f64_bounds_denominator() {
+        let pi = std::f64::consts::PI;
+        let approx = Rational::approximate_f64(pi, 1000).unwrap();
+        assert!(approx.denom() <= &BigInt::from(1000_i64));
+        assert!((approx.to_f64() - pi).abs() < 1e-5);
+        // The classic 355/113 convergent appears with a denominator cap of 10^4.
+        let a2 = Rational::approximate_f64(pi, 10_000).unwrap();
+        assert_eq!(a2, Rational::new(355, 113));
+        let neg = Rational::approximate_f64(-0.5, 100).unwrap();
+        assert_eq!(neg, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn floor() {
+        assert_eq!(Rational::new(7, 2).floor().to_i64().unwrap(), 3);
+        assert_eq!(Rational::new(-7, 2).floor().to_i64().unwrap(), -4);
+        assert_eq!(Rational::integer(5).floor().to_i64().unwrap(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(an in -1000_i64..1000, ad in 1_i64..50,
+                             bn in -1000_i64..1000, bd in 1_i64..50,
+                             cn in -1000_i64..1000, cd in 1_i64..50) {
+            let a = Rational::new(an, ad);
+            let b = Rational::new(bn, bd);
+            let c = Rational::new(cn, cd);
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!(&a * &b, &b * &a);
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn prop_to_f64_matches_float_division(n in -10_000_i64..10_000, d in 1_i64..10_000) {
+            let r = Rational::new(n, d);
+            let expected = n as f64 / d as f64;
+            prop_assert!((r.to_f64() - expected).abs() <= 1e-12 * expected.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_from_f64_exact(v in -1.0e6_f64..1.0e6) {
+            let r = Rational::from_f64(v).unwrap();
+            prop_assert_eq!(r.to_f64(), v);
+        }
+    }
+}

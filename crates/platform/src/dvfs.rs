@@ -1,0 +1,159 @@
+//! Dynamic voltage and frequency scaling (DVFS) operating points.
+//!
+//! The paper closes with the observation that the optimized decoder runs ~3.5×
+//! faster than real time, so the processor frequency and voltage can be
+//! lowered while still meeting the real-time deadline, saving additional
+//! energy (E ∝ V²). This module models the SA-1110 operating points and that
+//! trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// A frequency/voltage operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Core clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Core supply voltage in volts.
+    pub voltage_v: f64,
+}
+
+impl OperatingPoint {
+    /// Relative energy per cycle compared to another point (∝ V²).
+    pub fn energy_per_cycle_ratio(&self, baseline: &OperatingPoint) -> f64 {
+        (self.voltage_v / baseline.voltage_v).powi(2)
+    }
+
+    /// Seconds taken to execute `cycles` at this frequency.
+    pub fn seconds_for(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.frequency_mhz * 1e6)
+    }
+}
+
+/// The table of supported operating points, sorted by frequency ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsTable {
+    points: Vec<OperatingPoint>,
+}
+
+impl DvfsTable {
+    /// The StrongARM SA-1110 operating points (59–206 MHz core clock range).
+    pub fn sa1110() -> Self {
+        DvfsTable {
+            points: vec![
+                OperatingPoint { frequency_mhz: 59.0, voltage_v: 0.90 },
+                OperatingPoint { frequency_mhz: 73.7, voltage_v: 0.95 },
+                OperatingPoint { frequency_mhz: 88.5, voltage_v: 1.00 },
+                OperatingPoint { frequency_mhz: 103.2, voltage_v: 1.05 },
+                OperatingPoint { frequency_mhz: 118.0, voltage_v: 1.10 },
+                OperatingPoint { frequency_mhz: 132.7, voltage_v: 1.15 },
+                OperatingPoint { frequency_mhz: 147.5, voltage_v: 1.20 },
+                OperatingPoint { frequency_mhz: 162.2, voltage_v: 1.25 },
+                OperatingPoint { frequency_mhz: 176.9, voltage_v: 1.35 },
+                OperatingPoint { frequency_mhz: 191.7, voltage_v: 1.45 },
+                OperatingPoint { frequency_mhz: 206.4, voltage_v: 1.55 },
+            ],
+        }
+    }
+
+    /// The fastest (maximum frequency, maximum voltage) point — the paper's
+    /// measurement condition.
+    pub fn max(&self) -> OperatingPoint {
+        *self.points.last().expect("table is never empty")
+    }
+
+    /// The slowest point.
+    pub fn min(&self) -> OperatingPoint {
+        *self.points.first().expect("table is never empty")
+    }
+
+    /// All operating points, slowest first.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// The slowest operating point that still finishes `cycles_per_deadline`
+    /// cycles within `deadline_s` seconds, or `None` when even the fastest
+    /// point misses the deadline.
+    pub fn slowest_meeting_deadline(
+        &self,
+        cycles_per_deadline: u64,
+        deadline_s: f64,
+    ) -> Option<OperatingPoint> {
+        self.points
+            .iter()
+            .copied()
+            .find(|p| p.seconds_for(cycles_per_deadline) <= deadline_s)
+    }
+
+    /// Energy saving factor obtained by running at the slowest
+    /// deadline-meeting point instead of the maximum point (1.0 when no
+    /// scaling is possible).
+    pub fn energy_saving_factor(&self, cycles_per_deadline: u64, deadline_s: f64) -> f64 {
+        match self.slowest_meeting_deadline(cycles_per_deadline, deadline_s) {
+            Some(p) => 1.0 / p.energy_per_cycle_ratio(&self.max()),
+            None => 1.0,
+        }
+    }
+}
+
+impl Default for DvfsTable {
+    fn default() -> Self {
+        DvfsTable::sa1110()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_bounded() {
+        let t = DvfsTable::sa1110();
+        let pts = t.points();
+        assert!(pts.len() >= 5);
+        for w in pts.windows(2) {
+            assert!(w[0].frequency_mhz < w[1].frequency_mhz);
+            assert!(w[0].voltage_v <= w[1].voltage_v);
+        }
+        assert_eq!(t.max().frequency_mhz, 206.4);
+        assert_eq!(t.min().frequency_mhz, 59.0);
+    }
+
+    #[test]
+    fn seconds_for_cycles() {
+        let p = OperatingPoint { frequency_mhz: 100.0, voltage_v: 1.0 };
+        assert!((p.seconds_for(100_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowest_point_meeting_deadline() {
+        let t = DvfsTable::sa1110();
+        // 1M cycles with a 10 ms deadline: even 59 MHz finishes in ~17 ms? No:
+        // 1e6 / 59e6 = 16.9 ms > 10 ms, so the slowest feasible point is the
+        // first with freq >= 100 MHz.
+        let p = t.slowest_meeting_deadline(1_000_000, 0.010).unwrap();
+        assert!(p.frequency_mhz >= 100.0);
+        assert!(p.frequency_mhz < 120.0);
+        // Impossible deadline.
+        assert!(t.slowest_meeting_deadline(10_000_000_000, 0.001).is_none());
+    }
+
+    #[test]
+    fn energy_saving_grows_with_headroom() {
+        let t = DvfsTable::sa1110();
+        // Plenty of headroom: big saving.
+        let relaxed = t.energy_saving_factor(100_000, 1.0);
+        // No headroom: no saving.
+        let tight = t.energy_saving_factor(206_000_000, 1.0);
+        assert!(relaxed > 2.0, "saving {relaxed}");
+        assert!((tight - 1.0).abs() < 1e-9);
+        assert!(t.energy_saving_factor(u64::MAX, 0.001) == 1.0);
+    }
+
+    #[test]
+    fn energy_ratio_is_quadratic_in_voltage() {
+        let a = OperatingPoint { frequency_mhz: 59.0, voltage_v: 0.9 };
+        let b = OperatingPoint { frequency_mhz: 206.4, voltage_v: 1.8 };
+        assert!((a.energy_per_cycle_ratio(&b) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Energy accounting.
+//!
+//! The paper reports both execution time and energy for every decoder version
+//! (Table 6). The Badge4's energy was measured with a cycle-accurate energy
+//! simulator; here energy is derived from the cycle count, the operating
+//! point (power ∝ f·V²) and per-access memory energy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::OpCounts;
+use crate::dvfs::OperatingPoint;
+use crate::memory::MemoryModel;
+
+/// Converts cycle counts and memory traffic into energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Core power in milliwatts at the reference operating point.
+    pub core_power_mw_at_ref: f64,
+    /// The reference operating point for `core_power_mw_at_ref`.
+    pub reference: OperatingPoint,
+    /// Board-level static power (regulators, SA-1111, idle peripherals) in mW,
+    /// charged for the duration of the computation.
+    pub static_power_mw: f64,
+}
+
+impl EnergyModel {
+    /// Badge4 defaults: ~400 mW core at 206 MHz / 1.55 V plus ~40 mW of board
+    /// overhead attributable to the computation (the DC-DC converter and
+    /// SA-1111 idle drains are excluded, as the paper's per-version energy
+    /// numbers are for the decode work itself).
+    pub fn badge4() -> Self {
+        EnergyModel {
+            core_power_mw_at_ref: 400.0,
+            reference: OperatingPoint { frequency_mhz: 206.4, voltage_v: 1.55 },
+            static_power_mw: 40.0,
+        }
+    }
+
+    /// Core power in milliwatts at an arbitrary operating point
+    /// (P ∝ f · V²).
+    pub fn core_power_mw(&self, point: &OperatingPoint) -> f64 {
+        self.core_power_mw_at_ref
+            * (point.frequency_mhz / self.reference.frequency_mhz)
+            * (point.voltage_v / self.reference.voltage_v).powi(2)
+    }
+
+    /// Energy in joules for executing `cycles` core cycles plus the memory
+    /// traffic of `ops` at the given operating point.
+    pub fn energy_j(
+        &self,
+        cycles: u64,
+        ops: &OpCounts,
+        memory: &MemoryModel,
+        point: &OperatingPoint,
+    ) -> f64 {
+        let seconds = point.seconds_for(cycles);
+        let dynamic = self.core_power_mw(point) * 1e-3 * seconds;
+        let static_e = self.static_power_mw * 1e-3 * seconds;
+        let mem_nj: f64 = ops
+            .memory_iter()
+            .map(|(region, n)| memory.access_energy_nj(region, n))
+            .sum();
+        dynamic + static_e + mem_nj * 1e-9
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::badge4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::InstructionClass;
+    use crate::dvfs::DvfsTable;
+    use crate::memory::MemoryRegion;
+
+    #[test]
+    fn power_scales_with_frequency_and_voltage_squared() {
+        let e = EnergyModel::badge4();
+        let full = e.core_power_mw(&e.reference);
+        let half_freq = OperatingPoint {
+            frequency_mhz: e.reference.frequency_mhz / 2.0,
+            voltage_v: e.reference.voltage_v,
+        };
+        assert!((e.core_power_mw(&half_freq) - full / 2.0).abs() < 1e-9);
+        let low_v = OperatingPoint {
+            frequency_mhz: e.reference.frequency_mhz,
+            voltage_v: e.reference.voltage_v / 2.0,
+        };
+        assert!((e.core_power_mw(&low_v) - full / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_grows_with_cycles() {
+        let e = EnergyModel::badge4();
+        let mem = MemoryModel::badge4();
+        let point = DvfsTable::sa1110().max();
+        let ops = OpCounts::new();
+        let small = e.energy_j(1_000_000, &ops, &mem, &point);
+        let large = e.energy_j(10_000_000, &ops, &mem, &point);
+        assert!(large > 9.0 * small && large < 11.0 * small);
+    }
+
+    #[test]
+    fn memory_traffic_adds_energy() {
+        let e = EnergyModel::badge4();
+        let mem = MemoryModel::badge4();
+        let point = DvfsTable::sa1110().max();
+        let mut ops = OpCounts::new();
+        ops.add(InstructionClass::Load, 1_000_000);
+        let without_mem = e.energy_j(1_000_000, &OpCounts::new(), &mem, &point);
+        ops.add_memory(MemoryRegion::Sdram, 1_000_000);
+        let with_mem = e.energy_j(1_000_000, &ops, &mem, &point);
+        assert!(with_mem > without_mem);
+    }
+
+    #[test]
+    fn running_slower_at_lower_voltage_saves_energy_per_work_item() {
+        // Same cycle count executed at a lower operating point burns less
+        // energy despite taking longer (V² dominates the static-power loss
+        // in this model).
+        let e = EnergyModel::badge4();
+        let mem = MemoryModel::badge4();
+        let table = DvfsTable::sa1110();
+        let fast = e.energy_j(50_000_000, &OpCounts::new(), &mem, &table.max());
+        let slow = e.energy_j(50_000_000, &OpCounts::new(), &mem, &table.min());
+        assert!(slow < fast, "slow {slow} should be below fast {fast}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # symmap-platform
+//!
+//! A simulated Badge4 / StrongARM SA-1110 platform.
+//!
+//! The paper characterizes library elements and profiles the MP3 decoder by
+//! *measuring* cycle counts on the Badge4 hardware and estimating energy with a
+//! cycle-accurate simulator. This crate substitutes a deterministic cost
+//! model for that hardware:
+//!
+//! * [`cost`] — per-instruction-class cycle costs of an ARMv4 integer core
+//!   without an FPU (floating point is emulated in software, which is the
+//!   two-orders-of-magnitude cliff the paper's Tables 3–6 hinge on),
+//! * [`memory`] — SRAM / SDRAM / FLASH access latencies and energy,
+//! * [`energy`] — energy accounting per cycle and per memory access,
+//! * [`dvfs`] — the SA-1110 frequency/voltage operating points used for the
+//!   "faster than real time ⇒ scale voltage" argument,
+//! * [`machine`] — the Badge4 board model gluing the pieces together,
+//! * [`profiler`] — per-function cycle/energy attribution used to regenerate
+//!   the profiling tables.
+//!
+//! ## Example
+//!
+//! ```
+//! use symmap_platform::cost::{InstructionClass, OpCounts};
+//! use symmap_platform::machine::Badge4;
+//!
+//! let badge = Badge4::new();
+//! let mut ops = OpCounts::new();
+//! ops.add(InstructionClass::FloatMulSoft, 1_000);
+//! ops.add(InstructionClass::IntMul, 1_000);
+//! let cost = badge.cost_of(&ops);
+//! // Software float multiplies dwarf native integer multiplies.
+//! assert!(cost.cycles > 50_000);
+//! ```
+
+pub mod cost;
+pub mod dvfs;
+pub mod energy;
+pub mod machine;
+pub mod memory;
+pub mod profiler;
+
+pub use cost::{CostModel, InstructionClass, OpCounts};
+pub use dvfs::{DvfsTable, OperatingPoint};
+pub use energy::EnergyModel;
+pub use machine::{Badge4, ExecutionCost};
+pub use memory::{MemoryModel, MemoryRegion};
+pub use profiler::{Profile, ProfileEntry, Profiler};

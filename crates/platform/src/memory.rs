@@ -1,0 +1,134 @@
+//! Badge4 memory hierarchy: SRAM, SDRAM and FLASH.
+//!
+//! The Badge4 carries three memory types (Figure 1 of the paper). Their access
+//! latency and per-access energy differ enough to matter for kernels that
+//! stream coefficient tables: the IPP-style kernels keep tables in SRAM while
+//! the reference decoder's working set spills to SDRAM.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A memory region of the Badge4 board.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MemoryRegion {
+    /// On-board SRAM: fast, small, holds the OS core and hot tables.
+    Sram,
+    /// SDRAM: the bulk working memory.
+    Sdram,
+    /// FLASH: program storage, slow to read, effectively read-only at run time.
+    Flash,
+}
+
+impl MemoryRegion {
+    /// All regions, for iteration.
+    pub const ALL: [MemoryRegion; 3] =
+        [MemoryRegion::Sram, MemoryRegion::Sdram, MemoryRegion::Flash];
+}
+
+impl fmt::Display for MemoryRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryRegion::Sram => write!(f, "SRAM"),
+            MemoryRegion::Sdram => write!(f, "SDRAM"),
+            MemoryRegion::Flash => write!(f, "FLASH"),
+        }
+    }
+}
+
+/// Per-region access characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionParams {
+    /// Extra cycles per access beyond the load/store issue cost.
+    pub access_cycles: u64,
+    /// Energy per access in nanojoules.
+    pub energy_nj: f64,
+    /// Capacity in kilobytes (reported by `describe`, not enforced).
+    pub capacity_kib: u32,
+}
+
+/// The memory model of the board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    sram: RegionParams,
+    sdram: RegionParams,
+    flash: RegionParams,
+}
+
+impl MemoryModel {
+    /// Badge4 defaults: 1 MiB SRAM, 32 MiB SDRAM, 32 MiB FLASH.
+    pub fn badge4() -> Self {
+        MemoryModel {
+            sram: RegionParams { access_cycles: 1, energy_nj: 0.6, capacity_kib: 1024 },
+            sdram: RegionParams { access_cycles: 6, energy_nj: 2.4, capacity_kib: 32 * 1024 },
+            flash: RegionParams { access_cycles: 18, energy_nj: 4.0, capacity_kib: 32 * 1024 },
+        }
+    }
+
+    /// Parameters of a region.
+    pub fn params(&self, region: MemoryRegion) -> RegionParams {
+        match region {
+            MemoryRegion::Sram => self.sram,
+            MemoryRegion::Sdram => self.sdram,
+            MemoryRegion::Flash => self.flash,
+        }
+    }
+
+    /// Extra cycles for `n` accesses to a region.
+    pub fn access_cycles(&self, region: MemoryRegion, n: u64) -> u64 {
+        self.params(region).access_cycles * n
+    }
+
+    /// Energy in nanojoules for `n` accesses to a region.
+    pub fn access_energy_nj(&self, region: MemoryRegion, n: u64) -> f64 {
+        self.params(region).energy_nj * n as f64
+    }
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel::badge4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn badge4_latency_ordering() {
+        let m = MemoryModel::badge4();
+        assert!(m.params(MemoryRegion::Sram).access_cycles < m.params(MemoryRegion::Sdram).access_cycles);
+        assert!(m.params(MemoryRegion::Sdram).access_cycles < m.params(MemoryRegion::Flash).access_cycles);
+    }
+
+    #[test]
+    fn energy_ordering_tracks_latency() {
+        let m = MemoryModel::badge4();
+        assert!(m.params(MemoryRegion::Sram).energy_nj < m.params(MemoryRegion::Sdram).energy_nj);
+        assert!(m.params(MemoryRegion::Sdram).energy_nj < m.params(MemoryRegion::Flash).energy_nj);
+    }
+
+    #[test]
+    fn accounting_is_linear() {
+        let m = MemoryModel::badge4();
+        assert_eq!(
+            m.access_cycles(MemoryRegion::Sdram, 10),
+            10 * m.params(MemoryRegion::Sdram).access_cycles
+        );
+        assert!(
+            (m.access_energy_nj(MemoryRegion::Sram, 100) - 100.0 * m.params(MemoryRegion::Sram).energy_nj)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(m.access_cycles(MemoryRegion::Flash, 0), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MemoryRegion::Sram.to_string(), "SRAM");
+        assert_eq!(MemoryRegion::ALL.len(), 3);
+    }
+}

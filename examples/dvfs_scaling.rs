@@ -1,0 +1,43 @@
+//! The closing argument of the paper (§4/§5): the optimized decoder runs
+//! several times faster than real time, so the StrongARM's frequency and
+//! voltage can be lowered while still meeting the 26 ms/frame deadline,
+//! saving additional energy (E ∝ V²).
+//!
+//! Run with `cargo run --release --example dvfs_scaling`.
+
+use symmap::mp3::decoder::{Decoder, KernelSet};
+use symmap::mp3::frame::FrameGenerator;
+use symmap::mp3::types::frame_duration_s;
+use symmap::platform::machine::Badge4;
+use symmap::platform::profiler::Profiler;
+
+fn main() {
+    let badge = Badge4::new();
+    let deadline = frame_duration_s();
+
+    // Measure the per-frame cycle count of the fully optimized decoder.
+    let frame = FrameGenerator::new(3).frame();
+    let profiler = Profiler::new();
+    Decoder::new(KernelSet::in_house_with_ipp()).decode_frame(&frame, &profiler);
+    let cycles_per_frame = profiler.profile(&badge).total_cycles();
+
+    println!("optimized decoder: {cycles_per_frame} cycles per frame, deadline {deadline:.4} s");
+    println!("\n{:<12} {:>10} {:>14} {:>16}", "freq (MHz)", "V", "frame time (s)", "meets deadline");
+    for point in badge.dvfs().points() {
+        let t = point.seconds_for(cycles_per_frame);
+        println!(
+            "{:<12.1} {:>10.2} {:>14.5} {:>16}",
+            point.frequency_mhz,
+            point.voltage_v,
+            t,
+            if t <= deadline { "yes" } else { "no" }
+        );
+    }
+
+    let headroom = deadline / badge.dvfs().max().seconds_for(cycles_per_frame);
+    let saving = badge.dvfs().energy_saving_factor(cycles_per_frame, deadline);
+    println!("\nheadroom at max frequency: {headroom:.1}x faster than real time");
+    println!("energy saving from scaling to the slowest feasible point: {saving:.2}x");
+    assert!(headroom > 1.0, "the optimized decoder must beat real time");
+    assert!(saving >= 1.0);
+}

@@ -1,0 +1,45 @@
+//! The paper's §1 motivating example: a code section calls `log`, and the
+//! library holds four implementations (double, float, fixed-point bit
+//! manipulation, fixed-point polynomial) with different accuracy / performance
+//! trade-offs. The mapper picks the best one automatically for two different
+//! accuracy requirements.
+//!
+//! Run with `cargo run --example log_mapping`.
+
+use symmap::core::decompose::{Mapper, MapperConfig};
+use symmap::ir::ast::Function;
+use symmap::ir::polyextract::extract_polynomial;
+use symmap::libchar::catalog;
+use symmap::platform::machine::Badge4;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The target code: an algorithmic-level kernel calling log(1 + x).
+    let source = "loudness(x) { return log(x) * 20; }";
+    let kernel = Function::parse(source)?;
+    let target = extract_polynomial(&kernel)?;
+    println!("target kernel : {source}");
+    println!("as polynomial : {target}");
+
+    let badge = Badge4::new();
+    let library = catalog::log_library(&badge);
+    println!("\ncharacterized log library:\n{library}");
+
+    // A loose accuracy requirement lets the cheap bit-manipulation version win.
+    let loose = Mapper::new(
+        &library,
+        MapperConfig { accuracy_tolerance: 1e-2, ..MapperConfig::default() },
+    )
+    .map_polynomial(&target)?;
+    println!("loose accuracy (1e-2): picked {:?}", loose.element_names());
+
+    // A tight requirement forces a more accurate (and more expensive) version.
+    let tight = Mapper::new(
+        &library,
+        MapperConfig { accuracy_tolerance: 1e-4, ..MapperConfig::default() },
+    )
+    .map_polynomial(&target)?;
+    println!("tight accuracy (1e-4): picked {:?}", tight.element_names());
+
+    assert_ne!(loose.element_names(), tight.element_names());
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The paper's headline experiment: optimize the MP3 decoder for the Badge4 by
+//! mapping its critical functions onto the Linux-math, in-house and IPP
+//! libraries, then compare performance, energy and compliance against the
+//! original floating-point code.
+//!
+//! Run with `cargo run --release --example mp3_optimization`.
+
+use symmap::core::pipeline::OptimizationPipeline;
+use symmap::core::report;
+use symmap::libchar::catalog;
+use symmap::mp3::decoder::KernelSet;
+use symmap::platform::machine::Badge4;
+
+fn main() {
+    let badge = Badge4::new();
+    let frames = 16;
+
+    // Step 1: characterize the full catalog (LM + IH + IPP plus the float
+    // kernels already present in the original code).
+    let library = catalog::full_catalog(&badge);
+    println!("characterized {} library elements\n", library.len());
+
+    // Steps 2 + 3: profile, identify, map, and measure.
+    let pipeline = OptimizationPipeline::new(badge.clone(), library).with_stream_frames(frames);
+    let original = pipeline.measure("Original", KernelSet::reference());
+    let optimized = pipeline.run("IH + IPP SubBand & IMDCT");
+
+    println!("{}", report::render_profile("Original per-frame profile", &original));
+    println!("{}", report::render_profile("Optimized per-frame profile", &optimized));
+
+    println!("mapping decisions:");
+    for line in &optimized.mapping_summary {
+        println!("  {line}");
+    }
+
+    let perf = optimized.perf_factor_vs(&original);
+    let energy = optimized.energy_factor_vs(&original);
+    println!("\nstream of {frames} frames:");
+    println!(
+        "  original : {:.2} s, {:.2} J",
+        original.stream_seconds, original.stream_energy_j
+    );
+    println!(
+        "  optimized: {:.4} s, {:.4} J  ({perf:.0}x faster, {energy:.0}x less energy)",
+        optimized.stream_seconds, optimized.stream_energy_j
+    );
+    println!(
+        "  compliance: rms error {:.2e} ({:?})",
+        optimized.compliance.rms_error, optimized.compliance.level
+    );
+    println!("\n{}", report::render_dvfs(&optimized, frames, &badge));
+
+    assert!(perf > 50.0, "the mapped decoder should be far faster than the original");
+    assert!(optimized.compliance.is_sufficient(), "the mapped decoder must stay compliant");
+}

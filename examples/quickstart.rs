@@ -1,0 +1,46 @@
+//! Quickstart: map a small polynomial onto a toy library of complex elements.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use symmap::algebra::poly::Poly;
+use symmap::core::decompose::{Mapper, MapperConfig};
+use symmap::libchar::{Library, LibraryElement};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "target code": a block that computes (x + y)^2 + x*y, written out in
+    // expanded form as a compiler front end would see it.
+    let target = Poly::parse("x^2 + 2*x*y + y^2 + x*y")?;
+
+    // A characterized library with two complex elements: a sum and a product,
+    // each annotated with its polynomial representation, cost and accuracy.
+    let mut library = Library::new("toy");
+    library.push(
+        LibraryElement::builder("vector_sum", "s")
+            .polynomial(Poly::parse("x + y")?)
+            .cycles(4)
+            .energy_nj(6.0)
+            .accuracy(1e-9)
+            .build()?,
+    );
+    library.push(
+        LibraryElement::builder("vector_mul", "q")
+            .polynomial(Poly::parse("x*y")?)
+            .cycles(6)
+            .energy_nj(9.0)
+            .accuracy(1e-9)
+            .build()?,
+    );
+
+    // Run the branch-and-bound mapper (Table 2 of the paper).
+    let mapper = Mapper::new(&library, MapperConfig::default());
+    let solution = mapper.map_polynomial(&target)?;
+
+    println!("target    : {target}");
+    println!("rewritten : {}", solution.rewritten);
+    println!("elements  : {:?}", solution.element_names());
+    println!("cost      : {} cycles, {:.1} nJ", solution.cost.cycles, solution.cost.energy_nj);
+    println!("verified  : {}", solution.verify());
+    assert!(solution.verify(), "mapping must be functionally equivalent");
+    assert!(solution.uses_element("vector_sum"));
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Integration test: from algorithmic-level source code, through the IR
+//! transformations and polynomial extraction, into the symbolic mapper.
+
+use symmap::core::decompose::{Mapper, MapperConfig};
+use symmap::ir::ast::Function;
+use symmap::ir::polyextract::extract_polynomial;
+use symmap::ir::transform::normalize;
+use symmap::libchar::{Library, LibraryElement};
+use symmap::algebra::poly::Poly;
+
+fn mac_library(taps: usize) -> Library {
+    let mut lib = Library::new("dsp");
+    let terms: Vec<String> = (0..taps).map(|k| format!("c_{k}*y_{k}")).collect();
+    lib.push(
+        LibraryElement::builder("fir_dot", "acc_out")
+            .polynomial(Poly::parse(&terms.join(" + ")).unwrap())
+            .cycles(3 * taps as u64)
+            .energy_nj(taps as f64)
+            .accuracy(1e-8)
+            .build()
+            .unwrap(),
+    );
+    lib.push(
+        LibraryElement::builder("mac", "m")
+            .polynomial(Poly::parse("c_0*y_0").unwrap())
+            .cycles(3)
+            .energy_nj(1.0)
+            .accuracy(1e-8)
+            .build()
+            .unwrap(),
+    );
+    lib
+}
+
+#[test]
+fn unrolled_fir_kernel_maps_onto_the_dot_product_element() {
+    // A 4-tap FIR written with a loop, exactly how a designer would write it.
+    let source = "fir(c_0, c_1, c_2, c_3, y_0, y_1, y_2, y_3) {
+        acc = 0;
+        for (k = 0; k < 4; k = k + 1) {
+            acc = acc + c[k] * y[k];
+        }
+        return acc;
+    }";
+    let kernel = Function::parse(source).unwrap();
+
+    // The normalization pipeline removes the loop without changing semantics.
+    let normalized = normalize(&kernel);
+    let args = [0.5, -0.25, 1.5, 2.0, 1.0, 2.0, 3.0, 4.0];
+    assert_eq!(kernel.eval(&args).unwrap(), normalized.eval(&args).unwrap());
+
+    // Polynomial extraction produces one large linear form (the §3.2 goal) …
+    let poly = extract_polynomial(&kernel).unwrap();
+    assert_eq!(poly.num_terms(), 4);
+
+    // … which the mapper covers with the complex dot-product element rather
+    // than a chain of single MACs.
+    let library = mac_library(4);
+    let solution =
+        Mapper::new(&library, MapperConfig::default()).map_polynomial(&poly).unwrap();
+    assert!(solution.uses_element("fir_dot"));
+    assert!(solution.is_complete());
+    assert!(solution.verify());
+}
+
+#[test]
+fn nonlinear_kernel_is_series_expanded_then_mapped() {
+    // exp() is not a polynomial; identification substitutes a Taylor series
+    // and the mapper matches it against a library element carrying the same
+    // series representation.
+    let kernel = Function::parse("warm(x) { return exp(x) - 1; }").unwrap();
+    let poly = extract_polynomial(&kernel).unwrap();
+    assert!(poly.total_degree() >= 4);
+
+    let mut lib = Library::new("math");
+    let series = {
+        // The library element's polynomial is the same truncated series.
+        let f = Function::parse("e(x) { return exp(x); }").unwrap();
+        extract_polynomial(&f).unwrap()
+    };
+    lib.push(
+        LibraryElement::builder("exp_table", "e_x")
+            .polynomial(series)
+            .cycles(35)
+            .accuracy(1e-6)
+            .build()
+            .unwrap(),
+    );
+    let solution = Mapper::new(&lib, MapperConfig::default()).map_polynomial(&poly).unwrap();
+    assert!(solution.uses_element("exp_table"));
+    assert!(solution.verify());
+}

@@ -1,0 +1,43 @@
+//! Integration test of the paper's §1 motivating example: choosing among four
+//! `log` implementations with different accuracy/performance trade-offs.
+
+use symmap::core::decompose::{Mapper, MapperConfig};
+use symmap::ir::ast::Function;
+use symmap::ir::polyextract::extract_polynomial;
+use symmap::libchar::catalog;
+use symmap::platform::machine::Badge4;
+
+#[test]
+fn accuracy_requirement_drives_the_choice_of_log_implementation() {
+    let kernel = Function::parse("loudness(x) { return log(x) * 20; }").unwrap();
+    let target = extract_polynomial(&kernel).unwrap();
+    let badge = Badge4::new();
+    let library = catalog::log_library(&badge);
+
+    let loose = Mapper::new(
+        &library,
+        MapperConfig { accuracy_tolerance: 1e-2, ..MapperConfig::default() },
+    )
+    .map_polynomial(&target)
+    .unwrap();
+    let tight = Mapper::new(
+        &library,
+        MapperConfig { accuracy_tolerance: 1e-4, ..MapperConfig::default() },
+    )
+    .map_polynomial(&target)
+    .unwrap();
+
+    // Loose accuracy: the cheap bit-manipulation routine wins.
+    assert_eq!(loose.element_names(), vec!["log_fixed_bitmanip"]);
+    // Tight accuracy: the fixed-point polynomial version wins.
+    assert_eq!(tight.element_names(), vec!["log_fixed_poly"]);
+
+    // Both solutions are functionally equivalent rewrites of the target.
+    for s in [&loose, &tight] {
+        assert!(s.verify());
+        assert!(s.is_complete());
+    }
+    // Tightening the accuracy requirement costs performance — the trade-off
+    // the paper's §1 example illustrates.
+    assert!(loose.cost.cycles < tight.cost.cycles);
+}

@@ -1,0 +1,60 @@
+//! Integration tests: the worked symbolic-algebra examples from §3.3 of the
+//! paper, run through the public API of the umbrella crate.
+
+use symmap::algebra::factor::factor;
+use symmap::algebra::horner::horner_form;
+use symmap::algebra::poly::Poly;
+use symmap::algebra::simplify::{simplify_modulo, SideRelations};
+use symmap::algebra::var::Var;
+
+#[test]
+fn maple_expand_example() {
+    // > S := x^2*(x^14+x^15+1);  > P := expand(S);
+    let s = Poly::parse("x^2*(x^14 + x^15 + 1)").unwrap();
+    assert_eq!(s, Poly::parse("x^16 + x^17 + x^2").unwrap());
+}
+
+#[test]
+fn maple_factor_example() {
+    // > factor(P);  ==>  x^2*(x^14+x^15+1)
+    let p = Poly::parse("x^16 + x^17 + x^2").unwrap();
+    let f = factor(&p);
+    assert_eq!(f.expand(), p);
+    assert!(f.factors.iter().any(|(q, m)| *q == Poly::parse("x").unwrap() && *m == 2));
+    assert!(f.factors.iter().any(|(q, _)| *q == Poly::parse("x^14 + x^15 + 1").unwrap()));
+}
+
+#[test]
+fn maple_horner_example() {
+    // > S := y^2*x + y*x^2 + 4*x*y + x^2 + 2*x;
+    // > convert(S, 'horner', [x, y]);  ==>  (2+(4+y)*y+(y+1)*x)*x
+    let s = Poly::parse("y^2*x + y*x^2 + 4*x*y + x^2 + 2*x").unwrap();
+    let h = horner_form(&s, &[Var::new("x"), Var::new("y")]);
+    // Lossless and with the Maple operation count (3 multiplications).
+    assert_eq!(h.expand(), s);
+    assert!(h.mul_count() <= 3, "horner form {h} uses {} muls", h.mul_count());
+    // The rendered form parses back to the same polynomial.
+    assert_eq!(Poly::parse(&h.to_string()).unwrap(), s);
+}
+
+#[test]
+fn maple_simplify_example() {
+    // > S := x + x^3*y^2 - 2*x*y^3
+    // > simplify(S, {p = x^2 - 2*y}, [x, y, p]);  ==>  x + y^2*x*p
+    let s = Poly::parse("x + x^3*y^2 - 2*x*y^3").unwrap();
+    let mut sr = SideRelations::new();
+    sr.push("p", Poly::parse("x^2 - 2*y").unwrap()).unwrap();
+    let reduced = simplify_modulo(&s, &sr, &["x", "y", "p"]).unwrap();
+    assert_eq!(reduced, Poly::parse("x + y^2*x*p").unwrap());
+    // Substituting the side relation back recovers the original polynomial.
+    assert_eq!(sr.expand_back(&reduced), s);
+}
+
+#[test]
+fn equation_1_is_a_first_order_polynomial() {
+    // Equation 1: the IMDCT output is linear in the windowed samples y_k once
+    // the cosines are precomputed.
+    let poly = symmap::mp3::imdct::imdct_polynomial(3, 36);
+    assert_eq!(poly.total_degree(), 1);
+    assert_eq!(poly.num_terms(), 18);
+}
