@@ -47,6 +47,8 @@ impl Expr {
     }
 
     /// Sum of two expressions (flattening nested sums).
+    // Consuming n-ary constructors, not std ops (which would force clones).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         match (self, other) {
             (Expr::Add(mut a), Expr::Add(b)) => {
@@ -66,6 +68,7 @@ impl Expr {
     }
 
     /// Product of two expressions (flattening nested products).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         match (self, other) {
             (Expr::Mul(mut a), Expr::Mul(b)) => {
@@ -91,9 +94,7 @@ impl Expr {
     pub fn height(&self) -> usize {
         match self {
             Expr::Constant(_) | Expr::Variable(_) => 1,
-            Expr::Add(xs) | Expr::Mul(xs) => {
-                1 + xs.iter().map(Expr::height).max().unwrap_or(0)
-            }
+            Expr::Add(xs) | Expr::Mul(xs) => 1 + xs.iter().map(Expr::height).max().unwrap_or(0),
             Expr::Pow(b, _) => 1 + b.height(),
             Expr::Call(_, a) => 1 + a.height(),
         }
@@ -148,9 +149,10 @@ impl Expr {
                 Ok(acc)
             }
             Expr::Pow(b, e) => b.to_poly()?.pow(*e),
-            Expr::Call(f, _) => {
-                Err(AlgebraError::NotPolynomial(format!("call to `{}`", f.name())))
-            }
+            Expr::Call(f, _) => Err(AlgebraError::NotPolynomial(format!(
+                "call to `{}`",
+                f.name()
+            ))),
         }
     }
 
@@ -161,12 +163,16 @@ impl Expr {
     pub fn approximate_calls(&self, terms: usize, max_den: u64) -> Expr {
         match self {
             Expr::Constant(_) | Expr::Variable(_) => self.clone(),
-            Expr::Add(xs) => {
-                Expr::Add(xs.iter().map(|x| x.approximate_calls(terms, max_den)).collect())
-            }
-            Expr::Mul(xs) => {
-                Expr::Mul(xs.iter().map(|x| x.approximate_calls(terms, max_den)).collect())
-            }
+            Expr::Add(xs) => Expr::Add(
+                xs.iter()
+                    .map(|x| x.approximate_calls(terms, max_den))
+                    .collect(),
+            ),
+            Expr::Mul(xs) => Expr::Mul(
+                xs.iter()
+                    .map(|x| x.approximate_calls(terms, max_den))
+                    .collect(),
+            ),
             Expr::Pow(b, e) => Expr::Pow(Box::new(b.approximate_calls(terms, max_den)), *e),
             Expr::Call(f, arg) => {
                 let arg = arg.approximate_calls(terms, max_den);
@@ -180,8 +186,7 @@ impl Expr {
                     let term = if k == 0 {
                         Expr::Constant(c.clone())
                     } else {
-                        Expr::Constant(c.clone())
-                            .mul(Expr::Pow(Box::new(arg.clone()), k as u32))
+                        Expr::Constant(c.clone()).mul(Expr::Pow(Box::new(arg.clone()), k as u32))
                     };
                     sum.push(term);
                 }
@@ -401,8 +406,7 @@ mod tests {
     #[test]
     fn nested_call_approximation() {
         // log(1 + (exp(x) - 1)) ≈ x near zero once both calls are expanded.
-        let inner = Expr::Call(Function::Exp, Box::new(Expr::var("x")))
-            .add(Expr::constant(-1));
+        let inner = Expr::Call(Function::Exp, Box::new(Expr::var("x"))).add(Expr::constant(-1));
         let e = Expr::Call(Function::Ln1p, Box::new(inner));
         let approx = e.approximate_calls(8, 10_000_000);
         assert!(approx.is_polynomial());

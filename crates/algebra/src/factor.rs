@@ -76,15 +76,25 @@ impl std::fmt::Display for Factorization {
 /// input; when nothing is found the input is returned as a single factor.
 pub fn factor(poly: &Poly) -> Factorization {
     if poly.is_zero() {
-        return Factorization { constant: Rational::zero(), factors: Vec::new() };
+        return Factorization {
+            constant: Rational::zero(),
+            factors: Vec::new(),
+        };
     }
     if let Some(c) = poly.as_constant() {
-        return Factorization { constant: c, factors: Vec::new() };
+        return Factorization {
+            constant: c,
+            factors: Vec::new(),
+        };
     }
 
     // 1. Pull out the content (rational constant).
     let content = poly.content();
-    let sign = if leading_is_negative(poly) { -Rational::one() } else { Rational::one() };
+    let sign = if leading_is_negative(poly) {
+        -Rational::one()
+    } else {
+        Rational::one()
+    };
     let constant = &content * &sign;
     let mut rest = poly.scale(&constant.recip().expect("nonzero content"));
 
@@ -112,24 +122,34 @@ pub fn factor(poly: &Poly) -> Factorization {
             merged.push((f, m));
         }
     }
-    Factorization { constant, factors: merged }
+    Factorization {
+        constant,
+        factors: merged,
+    }
 }
 
 fn leading_is_negative(poly: &Poly) -> bool {
     let order = MonomialOrder::GrLex(poly.vars());
-    poly.leading_term(&order).map(|(_, c)| c.is_negative()).unwrap_or(false)
+    poly.leading_term(&order)
+        .map(|(_, c)| c.is_negative())
+        .unwrap_or(false)
 }
 
 /// The largest monomial dividing every term.
 fn common_monomial(poly: &Poly) -> Monomial {
     let mut iter = poly.iter();
-    let Some((first, _)) = iter.next() else { return Monomial::one() };
+    let Some((first, _)) = iter.next() else {
+        return Monomial::one();
+    };
     iter.fold(first.clone(), |acc, (m, _)| acc.gcd(m))
 }
 
 fn divide_by_monomial(poly: &Poly, m: &Monomial) -> Poly {
     Poly::from_terms(poly.iter().map(|(mm, c)| {
-        (mm.div(m).expect("common monomial divides every term"), c.clone())
+        (
+            mm.div(m).expect("common monomial divides every term"),
+            c.clone(),
+        )
     }))
 }
 
@@ -283,7 +303,7 @@ fn factor_univariate(poly: &Poly, v: Var, out: &mut Vec<(Poly, u32)>) -> Rationa
             Some(root) => {
                 let linear = Poly::var(v).sub(&Poly::constant(root));
                 let order = MonomialOrder::Lex(rest.vars());
-                let div = crate::division::divide(&rest, &[linear.clone()], &order);
+                let div = crate::division::divide(&rest, std::slice::from_ref(&linear), &order);
                 debug_assert!(div.remainder.is_zero());
                 out.push((linear, 1));
                 rest = div.quotients[0].clone();

@@ -41,13 +41,18 @@ impl HornerForm {
     pub fn mul_count(&self) -> u32 {
         match self {
             HornerForm::Constant(_) | HornerForm::Variable(_) => 0,
-            HornerForm::Nest { power, inner, base, .. } => {
+            HornerForm::Nest {
+                power, inner, base, ..
+            } => {
                 // var^power costs power-1 multiplications; multiplying by the
                 // inner coefficient costs one more unless that coefficient is
                 // ±1 (a sign flip is an add/sub, not a multiplication).
-                let inner_is_unit =
-                    matches!(&**inner, HornerForm::Constant(c) if c.abs().is_one());
-                let own = if inner_is_unit { power.saturating_sub(1) } else { *power };
+                let inner_is_unit = matches!(&**inner, HornerForm::Constant(c) if c.abs().is_one());
+                let own = if inner_is_unit {
+                    power.saturating_sub(1)
+                } else {
+                    *power
+                };
                 own + inner.mul_count() + base.mul_count()
             }
         }
@@ -70,7 +75,12 @@ impl HornerForm {
         match self {
             HornerForm::Constant(c) => Poly::constant(c.clone()),
             HornerForm::Variable(v) => Poly::var(*v),
-            HornerForm::Nest { var, power, inner, base } => {
+            HornerForm::Nest {
+                var,
+                power,
+                inner,
+                base,
+            } => {
                 let v = Poly::var(*var).pow(*power).expect("bounded exponent");
                 v.mul(&inner.expand()).add(&base.expand())
             }
@@ -89,8 +99,17 @@ impl fmt::Display for HornerForm {
                 }
             }
             HornerForm::Variable(v) => write!(f, "{v}"),
-            HornerForm::Nest { var, power, inner, base } => {
-                let var_str = if *power == 1 { format!("{var}") } else { format!("{var}^{power}") };
+            HornerForm::Nest {
+                var,
+                power,
+                inner,
+                base,
+            } => {
+                let var_str = if *power == 1 {
+                    format!("{var}")
+                } else {
+                    format!("{var}^{power}")
+                };
                 let inner_is_one = matches!(&**inner, HornerForm::Constant(c) if c.is_one());
                 let base_is_zero = matches!(&**base, HornerForm::Constant(c) if c.is_zero());
                 let prod = if inner_is_one {
@@ -241,16 +260,31 @@ mod tests {
         assert_eq!(h.expand(), q, "horner form must be lossless");
         // The Maple output uses 4 multiplications ((4+y)*y, (y+1)*x, outer *x)
         // — allow equality with that count.
-        assert!(h.mul_count() <= 4, "mul count {} too high: {h}", h.mul_count());
+        assert!(
+            h.mul_count() <= 4,
+            "mul count {} too high: {h}",
+            h.mul_count()
+        );
         assert!(h.add_count() <= 4);
         let naive = q.naive_op_count();
-        assert!(h.mul_count() < naive.0, "horner {} should beat naive {}", h.mul_count(), naive.0);
+        assert!(
+            h.mul_count() < naive.0,
+            "horner {} should beat naive {}",
+            h.mul_count(),
+            naive.0
+        );
     }
 
     #[test]
     fn constant_and_single_variable_leaves() {
-        assert_eq!(horner_form(&p("5"), &vars(&["x"])), HornerForm::Constant(Rational::integer(5)));
-        assert_eq!(horner_form(&Poly::zero(), &vars(&["x"])), HornerForm::Constant(Rational::zero()));
+        assert_eq!(
+            horner_form(&p("5"), &vars(&["x"])),
+            HornerForm::Constant(Rational::integer(5))
+        );
+        assert_eq!(
+            horner_form(&Poly::zero(), &vars(&["x"])),
+            HornerForm::Constant(Rational::zero())
+        );
         assert_eq!(horner_form(&p("x"), &vars(&["x"])).expand(), p("x"));
     }
 
@@ -286,15 +320,28 @@ mod tests {
         let h = horner_form(&q, &vars(&["x"]));
         let s = h.to_string();
         assert!(s.contains('x'), "display {s}");
-        assert_eq!(Poly::parse(&s).unwrap(), q, "display must parse back to the same polynomial");
+        assert_eq!(
+            Poly::parse(&s).unwrap(),
+            q,
+            "display must parse back to the same polynomial"
+        );
     }
 
     #[test]
     fn display_round_trips_multivariate() {
-        for src in ["y^2*x + y*x^2 + 4*x*y + x^2 + 2*x", "x^6 + 1", "x*y*z + x*y + x", "-x^2 + 3"] {
+        for src in [
+            "y^2*x + y*x^2 + 4*x*y + x^2 + 2*x",
+            "x^6 + 1",
+            "x*y*z + x*y + x",
+            "-x^2 + 3",
+        ] {
             let q = p(src);
             let h = horner_form_auto(&q);
-            assert_eq!(Poly::parse(&h.to_string()).unwrap(), q, "round trip for {src}: {h}");
+            assert_eq!(
+                Poly::parse(&h.to_string()).unwrap(),
+                q,
+                "round trip for {src}: {h}"
+            );
         }
     }
 

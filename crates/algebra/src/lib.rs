@@ -29,6 +29,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod division;
 pub mod eliminate;
 pub mod error;

@@ -26,7 +26,9 @@ pub struct Monomial {
 impl Monomial {
     /// The constant monomial `1`.
     pub fn one() -> Self {
-        Monomial { exps: BTreeMap::new() }
+        Monomial {
+            exps: BTreeMap::new(),
+        }
     }
 
     /// A single variable raised to a power (degenerate to `1` when `exp == 0`).
@@ -143,7 +145,9 @@ impl Monomial {
         if k == 0 {
             return Monomial::one();
         }
-        Monomial { exps: self.exps.iter().map(|(&v, &e)| (v, e * k)).collect() }
+        Monomial {
+            exps: self.exps.iter().map(|(&v, &e)| (v, e * k)).collect(),
+        }
     }
 
     /// Number of multiplications needed to evaluate the bare power product

@@ -160,11 +160,7 @@ impl MonomialOrder {
     }
 
     fn block_degree(&self, m: &Monomial, k: usize) -> u32 {
-        self.vars()
-            .iter()
-            .take(k)
-            .map(|v| m.degree_of(v))
-            .sum()
+        self.vars().iter().take(k).map(|v| m.degree_of(v)).sum()
     }
 
     /// Compares two monomials under this order.
@@ -207,7 +203,10 @@ mod tests {
 
     fn m(pairs: &[(&str, u32)]) -> Monomial {
         Monomial::from_pairs(
-            &pairs.iter().map(|&(n, e)| (Var::new(n), e)).collect::<Vec<_>>(),
+            &pairs
+                .iter()
+                .map(|&(n, e)| (Var::new(n), e))
+                .collect::<Vec<_>>(),
         )
     }
 
@@ -216,7 +215,10 @@ mod tests {
         let o = MonomialOrder::lex(&["x", "y", "z"]);
         // x > y^5 under lex with x > y.
         assert_eq!(o.cmp(&m(&[("x", 1)]), &m(&[("y", 5)])), Ordering::Greater);
-        assert_eq!(o.cmp(&m(&[("x", 1), ("y", 1)]), &m(&[("x", 1)])), Ordering::Greater);
+        assert_eq!(
+            o.cmp(&m(&[("x", 1), ("y", 1)]), &m(&[("x", 1)])),
+            Ordering::Greater
+        );
         assert_eq!(o.cmp(&m(&[("x", 2)]), &m(&[("x", 2)])), Ordering::Equal);
         assert_eq!(o.cmp(&Monomial::one(), &m(&[("z", 1)])), Ordering::Less);
     }
@@ -226,7 +228,10 @@ mod tests {
         let o = MonomialOrder::grlex(&["x", "y"]);
         assert_eq!(o.cmp(&m(&[("y", 3)]), &m(&[("x", 2)])), Ordering::Greater);
         // Same degree: lex breaks the tie.
-        assert_eq!(o.cmp(&m(&[("x", 2)]), &m(&[("x", 1), ("y", 1)])), Ordering::Greater);
+        assert_eq!(
+            o.cmp(&m(&[("x", 2)]), &m(&[("x", 1), ("y", 1)])),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -264,7 +269,10 @@ mod tests {
         // Eliminate x (k = 1): any monomial containing x is larger than any
         // monomial not containing x.
         let o = MonomialOrder::Elimination(VarSet::from_names(&["x", "y", "p"]), 1);
-        assert_eq!(o.cmp(&m(&[("x", 1)]), &m(&[("y", 7), ("p", 3)])), Ordering::Greater);
+        assert_eq!(
+            o.cmp(&m(&[("x", 1)]), &m(&[("y", 7), ("p", 3)])),
+            Ordering::Greater
+        );
         assert_eq!(o.cmp(&m(&[("y", 1)]), &m(&[("p", 1)])), Ordering::Greater);
     }
 

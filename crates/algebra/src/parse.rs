@@ -26,7 +26,11 @@ use crate::var::Var;
 /// [`AlgebraError::NotPolynomial`] for division by a non-constant.
 pub fn parse_polynomial(input: &str) -> Result<Poly, AlgebraError> {
     let tokens = tokenize(input)?;
-    let mut parser = Parser { input, tokens, pos: 0 };
+    let mut parser = Parser {
+        input,
+        tokens,
+        pos: 0,
+    };
     let poly = parser.expr()?;
     if parser.pos != parser.tokens.len() {
         return Err(parser.error("unexpected trailing input"));
@@ -123,7 +127,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: &str) -> AlgebraError {
-        AlgebraError::Parse { input: self.input.to_string(), message: message.to_string() }
+        AlgebraError::Parse {
+            input: self.input.to_string(),
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -171,9 +178,11 @@ impl<'a> Parser<'a> {
                         Some(c) if !c.is_zero() => {
                             acc = acc.scale(&c.recip()?);
                         }
-                        Some(_) => return Err(AlgebraError::Numeric(
-                            symmap_numeric::NumericError::DivisionByZero,
-                        )),
+                        Some(_) => {
+                            return Err(AlgebraError::Numeric(
+                                symmap_numeric::NumericError::DivisionByZero,
+                            ))
+                        }
                         None => {
                             return Err(AlgebraError::NotPolynomial(format!(
                                 "division by non-constant `{divisor}`"
@@ -193,10 +202,7 @@ impl<'a> Parser<'a> {
             self.bump();
             match self.bump() {
                 Some(Token::Number(n)) if n.is_integer() && !n.is_negative() => {
-                    let exp = n
-                        .numer()
-                        .to_i64()
-                        .map_err(AlgebraError::from)?;
+                    let exp = n.numer().to_i64().map_err(AlgebraError::from)?;
                     if exp > u32::MAX as i64 {
                         return Err(AlgebraError::ExponentTooLarge(exp as u64));
                     }
@@ -233,10 +239,7 @@ mod tests {
     #[test]
     fn parses_simple_sums_and_products() {
         assert_eq!(parse_polynomial("x + 1").unwrap().num_terms(), 2);
-        assert_eq!(
-            parse_polynomial("x*y*z").unwrap().total_degree(),
-            3
-        );
+        assert_eq!(parse_polynomial("x*y*z").unwrap().total_degree(), 3);
         assert_eq!(parse_polynomial("2 + 3").unwrap(), Poly::integer(5));
     }
 
@@ -251,7 +254,10 @@ mod tests {
     #[test]
     fn parses_unary_minus_and_rationals() {
         assert_eq!(parse_polynomial("-x").unwrap(), Poly::var_named("x").neg());
-        assert_eq!(parse_polynomial("-(x - 1)").unwrap(), parse_polynomial("1 - x").unwrap());
+        assert_eq!(
+            parse_polynomial("-(x - 1)").unwrap(),
+            parse_polynomial("1 - x").unwrap()
+        );
         assert_eq!(
             parse_polynomial("x/2 + 0.25").unwrap(),
             parse_polynomial("2*x/4 + 1/4").unwrap()
@@ -263,7 +269,10 @@ mod tests {
     fn division_by_constant_only() {
         assert!(parse_polynomial("x / y").is_err());
         assert!(parse_polynomial("x / 0").is_err());
-        assert_eq!(parse_polynomial("(4*x + 2)/2").unwrap(), parse_polynomial("2*x + 1").unwrap());
+        assert_eq!(
+            parse_polynomial("(4*x + 2)/2").unwrap(),
+            parse_polynomial("2*x + 1").unwrap()
+        );
     }
 
     #[test]

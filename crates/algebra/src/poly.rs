@@ -36,7 +36,9 @@ pub type Term = (Monomial, Rational);
 impl Poly {
     /// The zero polynomial.
     pub fn zero() -> Self {
-        Poly { terms: BTreeMap::new() }
+        Poly {
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The constant polynomial `1`.
@@ -108,7 +110,8 @@ impl Poly {
 
     /// Returns `true` if the polynomial is a constant (including zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.contains_key(&Monomial::one()))
+        self.terms.is_empty()
+            || (self.terms.len() == 1 && self.terms.contains_key(&Monomial::one()))
     }
 
     /// Returns the constant value when [`Poly::is_constant`] is true.
@@ -147,7 +150,11 @@ impl Poly {
 
     /// Total degree (max over terms); zero polynomial has degree 0.
     pub fn total_degree(&self) -> u32 {
-        self.terms.keys().map(Monomial::total_degree).max().unwrap_or(0)
+        self.terms
+            .keys()
+            .map(Monomial::total_degree)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Degree in a specific variable.
@@ -203,7 +210,13 @@ impl Poly {
 
     /// Negation.
     pub fn neg(&self) -> Poly {
-        Poly { terms: self.terms.iter().map(|(m, c)| (m.clone(), -c.clone())).collect() }
+        Poly {
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, c)| (m.clone(), -c.clone()))
+                .collect(),
+        }
     }
 
     /// Multiplication by a scalar.
@@ -211,7 +224,9 @@ impl Poly {
         if c.is_zero() {
             return Poly::zero();
         }
-        Poly { terms: self.terms.iter().map(|(m, k)| (m.clone(), k * c)).collect() }
+        Poly {
+            terms: self.terms.iter().map(|(m, k)| (m.clone(), k * c)).collect(),
+        }
     }
 
     /// Multiplication by a single term `c * m`.
@@ -219,7 +234,13 @@ impl Poly {
         if c.is_zero() {
             return Poly::zero();
         }
-        Poly { terms: self.terms.iter().map(|(mm, k)| (mm.mul(m), k * c)).collect() }
+        Poly {
+            terms: self
+                .terms
+                .iter()
+                .map(|(mm, k)| (mm.mul(m), k * c))
+                .collect(),
+        }
     }
 
     /// Polynomial multiplication (naive term-by-term expansion).
@@ -315,7 +336,9 @@ impl Poly {
         let mut out = vec![Poly::zero(); deg + 1];
         for (m, c) in self.iter() {
             let k = m.degree_of(v) as usize;
-            let reduced = m.div(&Monomial::var(v, k as u32)).expect("divides by construction");
+            let reduced = m
+                .div(&Monomial::var(v, k as u32))
+                .expect("divides by construction");
             out[k].add_term(&reduced, c);
         }
         out
@@ -441,7 +464,10 @@ mod tests {
         assert!(Poly::one().is_constant());
         assert_eq!(Poly::integer(5).as_constant(), Some(Rational::integer(5)));
         assert_eq!(Poly::constant(Rational::zero()), Poly::zero());
-        assert_eq!(Poly::var_named("x").as_single_variable(), Some(Var::new("x")));
+        assert_eq!(
+            Poly::var_named("x").as_single_variable(),
+            Some(Var::new("x"))
+        );
         assert_eq!(p("2*x").as_single_variable(), None);
     }
 

@@ -31,17 +31,17 @@ pub fn substitute(poly: &Poly, var: Var, replacement: &Poly) -> Result<Poly, Alg
 ///
 /// Returns [`AlgebraError::ExponentTooLarge`] if an intermediate power would
 /// exceed the safety bound of [`Poly::pow`].
-pub fn substitute_all(
-    poly: &Poly,
-    assignment: &BTreeMap<Var, Poly>,
-) -> Result<Poly, AlgebraError> {
+pub fn substitute_all(poly: &Poly, assignment: &BTreeMap<Var, Poly>) -> Result<Poly, AlgebraError> {
     let mut out = Poly::zero();
     for (m, c) in poly.iter() {
         let mut term = Poly::constant(c.clone());
         for (v, e) in m.iter() {
             let factor = match assignment.get(&v) {
                 Some(rep) => rep.pow(e)?,
-                None => Poly::from_term(crate::monomial::Monomial::var(v, e), symmap_numeric::Rational::one()),
+                None => Poly::from_term(
+                    crate::monomial::Monomial::var(v, e),
+                    symmap_numeric::Rational::one(),
+                ),
             };
             term = term.mul(&factor);
         }
@@ -100,7 +100,9 @@ mod tests {
 
     #[test]
     fn substitution_into_zero_is_zero() {
-        assert!(substitute(&Poly::zero(), Var::new("x"), &p("y + 1")).unwrap().is_zero());
+        assert!(substitute(&Poly::zero(), Var::new("x"), &p("y + 1"))
+            .unwrap()
+            .is_zero());
     }
 
     #[test]

@@ -137,7 +137,14 @@ impl VarSet {
     /// (order preserved).
     pub fn difference(&self, other: &VarSet) -> VarSet {
         let other_set: BTreeSet<Var> = other.iter().collect();
-        VarSet { vars: self.vars.iter().copied().filter(|v| !other_set.contains(v)).collect() }
+        VarSet {
+            vars: self
+                .vars
+                .iter()
+                .copied()
+                .filter(|v| !other_set.contains(v))
+                .collect(),
+        }
     }
 }
 
@@ -204,7 +211,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let s: VarSet = [Var::new("x"), Var::new("y"), Var::new("x")].into_iter().collect();
+        let s: VarSet = [Var::new("x"), Var::new("y"), Var::new("x")]
+            .into_iter()
+            .collect();
         assert_eq!(s.len(), 2);
     }
 

@@ -13,10 +13,17 @@ fn bench(c: &mut Criterion) {
     let bounded = Mapper::new(&library, MapperConfig::default());
     let unbounded = Mapper::new(
         &library,
-        MapperConfig { use_bounding: false, ..MapperConfig::default() },
+        MapperConfig {
+            use_bounding: false,
+            ..MapperConfig::default()
+        },
     );
-    c.bench_function("ablation/bounding_on", |b| b.iter(|| bounded.map_polynomial(&target).unwrap()));
-    c.bench_function("ablation/bounding_off", |b| b.iter(|| unbounded.map_polynomial(&target).unwrap()));
+    c.bench_function("ablation/bounding_on", |b| {
+        b.iter(|| bounded.map_polynomial(&target).unwrap())
+    });
+    c.bench_function("ablation/bounding_off", |b| {
+        b.iter(|| unbounded.map_polynomial(&target).unwrap())
+    });
     let on = bounded.map_polynomial(&target).unwrap();
     let off = unbounded.map_polynomial(&target).unwrap();
     println!(

@@ -14,10 +14,17 @@ fn bench(c: &mut Criterion) {
     let guided = Mapper::new(&library, MapperConfig::default());
     let unguided = Mapper::new(
         &library,
-        MapperConfig { use_guidance: false, ..MapperConfig::default() },
+        MapperConfig {
+            use_guidance: false,
+            ..MapperConfig::default()
+        },
     );
-    c.bench_function("ablation/guidance_on", |b| b.iter(|| guided.map_polynomial(&target).unwrap()));
-    c.bench_function("ablation/guidance_off", |b| b.iter(|| unguided.map_polynomial(&target).unwrap()));
+    c.bench_function("ablation/guidance_on", |b| {
+        b.iter(|| guided.map_polynomial(&target).unwrap())
+    });
+    c.bench_function("ablation/guidance_off", |b| {
+        b.iter(|| unguided.map_polynomial(&target).unwrap())
+    });
     let on = guided.map_polynomial(&target).unwrap();
     let off = unguided.map_polynomial(&target).unwrap();
     println!(

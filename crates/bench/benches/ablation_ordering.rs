@@ -25,7 +25,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| groebner_basis(&gens, &order))
         });
         let gb = groebner_basis(&gens, &order);
-        println!("order {name}: basis size {}, reductions {}", gb.polys.len(), gb.reductions);
+        println!(
+            "order {name}: basis size {}, reductions {}",
+            gb.polys.len(),
+            gb.reductions
+        );
     }
 }
 

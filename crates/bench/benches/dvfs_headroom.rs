@@ -11,12 +11,16 @@ fn bench(c: &mut Criterion) {
     let version = measure_version("IH + IPP SubBand & IMDCT", &badge, QUICK_STREAM_FRAMES);
     c.bench_function("dvfs/energy_saving_sweep", |b| {
         b.iter(|| {
-            badge
-                .dvfs()
-                .energy_saving_factor(version.frame_profile.total_cycles(), symmap_mp3::types::frame_duration_s())
+            badge.dvfs().energy_saving_factor(
+                version.frame_profile.total_cycles(),
+                symmap_mp3::types::frame_duration_s(),
+            )
         })
     });
-    println!("\n{}", report::render_dvfs(&version, QUICK_STREAM_FRAMES, &badge));
+    println!(
+        "\n{}",
+        report::render_dvfs(&version, QUICK_STREAM_FRAMES, &badge)
+    );
 }
 
 criterion_group! {

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table1/characterize_full_catalog", |b| {
         b.iter(|| catalog::full_catalog(&badge))
     });
-    c.bench_function("table1/render", |b| b.iter(|| report::render_table1(&badge)));
+    c.bench_function("table1/render", |b| {
+        b.iter(|| report::render_table1(&badge))
+    });
 
     // Print the reproduced table once so the bench log carries the artifact.
     let table = report::render_table1(&badge);

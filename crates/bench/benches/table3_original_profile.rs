@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| measure_version("Original", &badge, QUICK_STREAM_FRAMES))
     });
     let version = measure_version("Original", &badge, QUICK_STREAM_FRAMES);
-    println!("\n{}", report::render_profile("Table 3. Original MP3 Profile", &version));
+    println!(
+        "\n{}",
+        report::render_profile("Table 3. Original MP3 Profile", &version)
+    );
 }
 
 criterion_group! {

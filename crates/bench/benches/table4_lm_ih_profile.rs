@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| measure_version("IH Library", &badge, QUICK_STREAM_FRAMES))
     });
     let version = measure_version("IH Library", &badge, QUICK_STREAM_FRAMES);
-    println!("\n{}", report::render_profile("Table 4. MP3 Profile after LM & IH mapping", &version));
+    println!(
+        "\n{}",
+        report::render_profile("Table 4. MP3 Profile after LM & IH mapping", &version)
+    );
 }
 
 criterion_group! {

@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| measure_version("IH + IPP SubBand & IMDCT", &badge, QUICK_STREAM_FRAMES))
     });
     let version = measure_version("IH + IPP SubBand & IMDCT", &badge, QUICK_STREAM_FRAMES);
-    println!("\n{}", report::render_profile("Table 5. MP3 Profile after LM & IH & IPP mapping", &version));
+    println!(
+        "\n{}",
+        report::render_profile("Table 5. MP3 Profile after LM & IH & IPP mapping", &version)
+    );
 }
 
 criterion_group! {

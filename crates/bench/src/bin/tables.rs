@@ -31,7 +31,8 @@ fn main() {
         println!("{}", report::render_maple_examples());
     }
 
-    let needs_versions = wants("table3") || wants("table4") || wants("table5") || wants("table6") || wants("dvfs");
+    let needs_versions =
+        wants("table3") || wants("table4") || wants("table5") || wants("table6") || wants("dvfs");
     if !needs_versions {
         return;
     }
@@ -45,7 +46,10 @@ fn main() {
     let versions = table6_versions(&badge, frames);
 
     if wants("table3") {
-        println!("{}", report::render_profile("Table 3. Original MP3 Profile", &versions[0]));
+        println!(
+            "{}",
+            report::render_profile("Table 3. Original MP3 Profile", &versions[0])
+        );
     }
     if wants("table4") {
         println!(
@@ -56,7 +60,10 @@ fn main() {
     if wants("table5") {
         println!(
             "{}",
-            report::render_profile("Table 5. MP3 Profile after LM & IH & IPP mapping", &versions[5])
+            report::render_profile(
+                "Table 5. MP3 Profile after LM & IH & IPP mapping",
+                &versions[5]
+            )
         );
         for line in &versions[5].mapping_summary {
             println!("  mapped: {line}");

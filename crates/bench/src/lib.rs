@@ -14,6 +14,8 @@
 //!
 //! The helpers here are shared between the benches and the `tables` binary.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use symmap_core::pipeline::{table6_libraries, CodeVersion, OptimizationPipeline};
 use symmap_libchar::catalog;
 use symmap_mp3::decoder::KernelSet;
@@ -38,8 +40,7 @@ pub fn pipeline_for(name: &str, badge: &Badge4, frames: usize) -> Option<Optimiz
 pub fn table6_versions(badge: &Badge4, frames: usize) -> Vec<CodeVersion> {
     let mut versions = Vec::new();
     for (name, library) in table6_libraries(badge) {
-        let pipeline =
-            OptimizationPipeline::new(badge.clone(), library).with_stream_frames(frames);
+        let pipeline = OptimizationPipeline::new(badge.clone(), library).with_stream_frames(frames);
         if name == "Original" {
             versions.push(pipeline.measure("Original", KernelSet::reference()));
         } else {
@@ -54,11 +55,10 @@ pub fn table6_versions(badge: &Badge4, frames: usize) -> Vec<CodeVersion> {
 
 /// Measures a single named version (used by the per-table benches).
 pub fn measure_version(name: &str, badge: &Badge4, frames: usize) -> CodeVersion {
-    let pipeline = pipeline_for(name, badge, frames)
-        .unwrap_or_else(|| {
-            OptimizationPipeline::new(badge.clone(), catalog::full_catalog(badge))
-                .with_stream_frames(frames)
-        });
+    let pipeline = pipeline_for(name, badge, frames).unwrap_or_else(|| {
+        OptimizationPipeline::new(badge.clone(), catalog::full_catalog(badge))
+            .with_stream_frames(frames)
+    });
     if name == "Original" {
         pipeline.measure("Original", KernelSet::reference())
     } else {

@@ -23,7 +23,10 @@ pub struct CostEstimate {
 impl CostEstimate {
     /// The zero cost.
     pub fn zero() -> Self {
-        CostEstimate { cycles: 0, energy_nj: 0.0 }
+        CostEstimate {
+            cycles: 0,
+            energy_nj: 0.0,
+        }
     }
 
     /// Component-wise sum.
@@ -53,7 +56,10 @@ pub struct CostEvaluator {
 impl CostEvaluator {
     /// Creates an evaluator for the SA-1110 cost model.
     pub fn new() -> Self {
-        CostEvaluator { cost_model: CostModel::sa1110(), energy_per_cycle_nj: 2.1 }
+        CostEvaluator {
+            cost_model: CostModel::sa1110(),
+            energy_per_cycle_nj: 2.1,
+        }
     }
 
     /// Uses a custom instruction cost model (ablation support).
@@ -65,7 +71,10 @@ impl CostEvaluator {
     /// Cost of invoking a named library element once.
     pub fn element_cost(&self, library: &Library, name: &str) -> CostEstimate {
         match library.element(name) {
-            Some(e) => CostEstimate { cycles: e.cycles(), energy_nj: e.energy_nj() },
+            Some(e) => CostEstimate {
+                cycles: e.cycles(),
+                energy_nj: e.energy_nj(),
+            },
             None => CostEstimate::zero(),
         }
     }
@@ -99,16 +108,19 @@ impl CostEvaluator {
             self.cost_model.cycles_for(InstructionClass::IntMac) * 2
         };
         let cycles = program_ops * per_op;
-        CostEstimate { cycles, energy_nj: cycles as f64 * self.energy_per_cycle_nj }
+        CostEstimate {
+            cycles,
+            energy_nj: cycles as f64 * self.energy_per_cycle_nj,
+        }
     }
 
     /// An optimistic lower bound on the remaining cost of a partial mapping —
     /// used to prune the branch-and-bound tree. Assumes every remaining
     /// program-variable term could be covered by the cheapest library element.
     pub fn lower_bound(&self, residual: &Poly, symbols: &VarSet, cheapest_element: u64) -> u64 {
-        let has_program_terms = residual.iter().any(|(m, _)| {
-            m.iter().any(|(v, _)| !symbols.contains(v)) && !m.is_one()
-        });
+        let has_program_terms = residual
+            .iter()
+            .any(|(m, _)| m.iter().any(|(v, _)| !symbols.contains(v)) && !m.is_one());
         if has_program_terms {
             cheapest_element
         } else {
@@ -128,7 +140,10 @@ impl Default for CostEvaluator {
 pub fn combined_accuracy(library: &Library, used: &[(String, u32)]) -> f64 {
     used.iter()
         .map(|(name, times)| {
-            library.element(name).map(|e| e.accuracy() * *times as f64).unwrap_or(0.0)
+            library
+                .element(name)
+                .map(|e| e.accuracy() * *times as f64)
+                .unwrap_or(0.0)
         })
         .sum()
 }
@@ -195,8 +210,14 @@ mod tests {
     fn lower_bound_zero_when_fully_mapped() {
         let evaluator = CostEvaluator::new();
         let symbols = VarSet::from_names(&["s"]);
-        assert_eq!(evaluator.lower_bound(&Poly::parse("s^2 + 3").unwrap(), &symbols, 100), 0);
-        assert_eq!(evaluator.lower_bound(&Poly::parse("s + x*y").unwrap(), &symbols, 100), 100);
+        assert_eq!(
+            evaluator.lower_bound(&Poly::parse("s^2 + 3").unwrap(), &symbols, 100),
+            0
+        );
+        assert_eq!(
+            evaluator.lower_bound(&Poly::parse("s + x*y").unwrap(), &symbols, 100),
+            100
+        );
     }
 
     #[test]
@@ -209,8 +230,14 @@ mod tests {
 
     #[test]
     fn cost_estimate_arithmetic() {
-        let a = CostEstimate { cycles: 10, energy_nj: 1.0 };
-        let b = CostEstimate { cycles: 20, energy_nj: 2.0 };
+        let a = CostEstimate {
+            cycles: 10,
+            energy_nj: 1.0,
+        };
+        let b = CostEstimate {
+            cycles: 20,
+            energy_nj: 2.0,
+        };
         assert_eq!(a.add(&b).cycles, 30);
         assert!(a.better_than(&b));
         assert!(!b.better_than(&a));

@@ -66,7 +66,11 @@ pub struct Mapper {
 impl Mapper {
     /// Creates a mapper over a characterized library.
     pub fn new(library: &Library, config: MapperConfig) -> Self {
-        Mapper { library: library.clone(), config, evaluator: CostEvaluator::new() }
+        Mapper {
+            library: library.clone(),
+            config,
+            evaluator: CostEvaluator::new(),
+        }
     }
 
     /// The mapper's configuration.
@@ -86,7 +90,9 @@ impl Mapper {
     pub fn map_polynomial(&self, target: &Poly) -> Result<MappingSolution, CoreError> {
         let candidates = self.candidates(target);
         if candidates.is_empty() {
-            return Err(CoreError::NoCandidateElements { target: target.to_string() });
+            return Err(CoreError::NoCandidateElements {
+                target: target.to_string(),
+            });
         }
         let ordered = self.order_candidates(target, candidates);
 
@@ -138,8 +144,12 @@ impl Mapper {
             }
             // Elements covering more of the target's variables first.
             let tvars = target.vars();
-            let covered =
-                e.polynomial().vars().iter().filter(|&v| tvars.contains(v)).count() as i64;
+            let covered = e
+                .polynomial()
+                .vars()
+                .iter()
+                .filter(|&v| tvars.contains(v))
+                .count() as i64;
             s -= covered * 1_000;
             s + e.cycles() as i64
         };
@@ -195,7 +205,10 @@ impl Mapper {
             // Two alternatives with the same output symbol (e.g. the float,
             // fixed and IPP versions of the same function) are mutually
             // exclusive within one solution.
-            if chosen.iter().any(|e| e.output_symbol() == candidate.output_symbol()) {
+            if chosen
+                .iter()
+                .any(|e| e.output_symbol() == candidate.output_symbol())
+            {
                 continue;
             }
             chosen.push(candidate);
@@ -225,10 +238,7 @@ impl Mapper {
         let mut used_elements: Vec<(String, u32)> = Vec::new();
         for e in chosen {
             let sym = symmap_algebra::var::Var::new(e.output_symbol());
-            let occurrences: u32 = rewritten
-                .iter()
-                .map(|(m, _)| m.degree_of(sym))
-                .sum();
+            let occurrences: u32 = rewritten.iter().map(|(m, _)| m.degree_of(sym)).sum();
             if occurrences > 0 {
                 used_elements.push((e.name().to_string(), occurrences));
             }
@@ -312,7 +322,10 @@ mod tests {
         lib.push(element("precise", "f1", "a*b + c", 200, 1e-9));
         let mapper = Mapper::new(
             &lib,
-            MapperConfig { accuracy_tolerance: 1e-6, ..MapperConfig::default() },
+            MapperConfig {
+                accuracy_tolerance: 1e-6,
+                ..MapperConfig::default()
+            },
         );
         let sol = mapper.map_polynomial(&p("a*b + c")).unwrap();
         assert_eq!(sol.element_names(), vec!["precise"]);
@@ -346,7 +359,9 @@ mod tests {
         let mut lib = Library::new("t");
         lib.push(element("sum", "s", "x + y", 3, 1e-9));
         let mapper = Mapper::new(&lib, MapperConfig::default());
-        let sol = mapper.map_polynomial(&p("x^2 + 2*x*y + y^2 + z^3")).unwrap();
+        let sol = mapper
+            .map_polynomial(&p("x^2 + 2*x*y + y^2 + z^3"))
+            .unwrap();
         assert!(sol.uses_element("sum"));
         assert!(!sol.is_complete());
         assert!(sol.verify());
@@ -357,9 +372,17 @@ mod tests {
         // The paper's earlier work maps IMDCT lines onto MACs; with a MAC-style
         // element (a linear form) the full 4-tap line maps completely.
         let mut lib = Library::new("t");
-        lib.push(element("dot4", "m", "c0*y0 + c1*y1 + c2*y2 + c3*y3", 12, 1e-8));
+        lib.push(element(
+            "dot4",
+            "m",
+            "c0*y0 + c1*y1 + c2*y2 + c3*y3",
+            12,
+            1e-8,
+        ));
         let mapper = Mapper::new(&lib, MapperConfig::default());
-        let sol = mapper.map_polynomial(&p("c0*y0 + c1*y1 + c2*y2 + c3*y3")).unwrap();
+        let sol = mapper
+            .map_polynomial(&p("c0*y0 + c1*y1 + c2*y2 + c3*y3"))
+            .unwrap();
         assert_eq!(sol.rewritten, p("m"));
         assert!(sol.is_complete());
     }
@@ -372,10 +395,16 @@ mod tests {
         lib.push(element("prod", "q", "x*y", 5, 1e-9));
         lib.push(element("sq_x", "sx", "x^2", 4, 1e-9));
         let target = p("x^2 - y^2");
-        let full = Mapper::new(&lib, MapperConfig::default()).map_polynomial(&target).unwrap();
+        let full = Mapper::new(&lib, MapperConfig::default())
+            .map_polynomial(&target)
+            .unwrap();
         let plain = Mapper::new(
             &lib,
-            MapperConfig { use_bounding: false, use_guidance: false, ..MapperConfig::default() },
+            MapperConfig {
+                use_bounding: false,
+                use_guidance: false,
+                ..MapperConfig::default()
+            },
         )
         .map_polynomial(&target)
         .unwrap();
@@ -388,10 +417,21 @@ mod tests {
     fn node_cap_still_returns_a_solution() {
         let mut lib = Library::new("t");
         for i in 0..12 {
-            lib.push(element(&format!("e{i}"), &format!("v{i}"), "x + y", 10 + i, 1e-9));
+            lib.push(element(
+                &format!("e{i}"),
+                &format!("v{i}"),
+                "x + y",
+                10 + i,
+                1e-9,
+            ));
         }
-        let mapper =
-            Mapper::new(&lib, MapperConfig { max_nodes: 5, ..MapperConfig::default() });
+        let mapper = Mapper::new(
+            &lib,
+            MapperConfig {
+                max_nodes: 5,
+                ..MapperConfig::default()
+            },
+        );
         let sol = mapper.map_polynomial(&p("x^2 + 2*x*y + y^2")).unwrap();
         assert!(sol.verify());
         assert!(sol.nodes_explored <= 5);

@@ -22,14 +22,20 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Algebra(e) => write!(f, "symbolic algebra error: {e}"),
             CoreError::NoCandidateElements { target } => {
-                write!(f, "no library element shares variables with target `{target}`")
+                write!(
+                    f,
+                    "no library element shares variables with target `{target}`"
+                )
             }
             CoreError::NoAccurateSolution { target, required } => write!(
                 f,
                 "no mapping of `{target}` meets the accuracy requirement {required:e}"
             ),
             CoreError::UnknownFunction(name) => {
-                write!(f, "no polynomial representation registered for function `{name}`")
+                write!(
+                    f,
+                    "no polynomial representation registered for function `{name}`"
+                )
             }
         }
     }
@@ -62,7 +68,10 @@ mod tests {
         assert!(e.source().is_none());
         let e = CoreError::Algebra(AlgebraError::UnknownVariable("x".into()));
         assert!(e.source().is_some());
-        let e = CoreError::NoAccurateSolution { target: "x^2".into(), required: 1e-6 };
+        let e = CoreError::NoAccurateSolution {
+            target: "x^2".into(),
+            required: 1e-6,
+        };
         assert!(e.to_string().contains("1e-6"));
     }
 }

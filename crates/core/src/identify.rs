@@ -59,7 +59,8 @@ pub fn stage_of(function: &str) -> Option<DecoderStage> {
 /// Returns the polynomial formulation of a decoder function, or an error when
 /// the function is control-dominated and has no polynomial representation.
 pub fn polynomial_for(function: &str) -> Result<Poly, CoreError> {
-    let stage = stage_of(function).ok_or_else(|| CoreError::UnknownFunction(function.to_string()))?;
+    let stage =
+        stage_of(function).ok_or_else(|| CoreError::UnknownFunction(function.to_string()))?;
     Ok(match stage {
         DecoderStage::Dequantize => catalog::dequantizer_polynomial(),
         DecoderStage::Stereo => catalog::stereo_polynomial(),
@@ -80,7 +81,11 @@ pub fn identify_targets(profile: &Profile, threshold_percent: f64) -> Vec<Target
             continue;
         };
         let percent = profile.entry(&name).map(|e| e.percent).unwrap_or(0.0);
-        out.push(TargetFunction { name, percent, polynomial });
+        out.push(TargetFunction {
+            name,
+            percent,
+            polynomial,
+        });
     }
     out
 }
@@ -96,7 +101,10 @@ mod tests {
     #[test]
     fn stage_mapping_covers_both_naming_schemes() {
         assert_eq!(stage_of("SubBandSynthesis"), Some(DecoderStage::Synthesis));
-        assert_eq!(stage_of("ippsSynthPQMF_MP3_32s16s"), Some(DecoderStage::Synthesis));
+        assert_eq!(
+            stage_of("ippsSynthPQMF_MP3_32s16s"),
+            Some(DecoderStage::Synthesis)
+        );
         assert_eq!(stage_of("inv_mdctL"), Some(DecoderStage::Imdct));
         assert_eq!(stage_of("III_hufman_decode"), None);
         assert_eq!(stage_of("unknown"), None);
@@ -135,6 +143,9 @@ mod tests {
             polynomial_for("SubBandSynthesis").unwrap(),
             synthesis::synthesis_polynomial(0)
         );
-        assert_eq!(polynomial_for("inv_mdctL").unwrap(), imdct::imdct_polynomial(0, 36));
+        assert_eq!(
+            polynomial_for("inv_mdctL").unwrap(),
+            imdct::imdct_polynomial(0, 36)
+        );
     }
 }

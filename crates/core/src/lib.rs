@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod cost;
 pub mod decompose;
 pub mod error;

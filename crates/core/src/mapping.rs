@@ -45,10 +45,7 @@ impl MappingSolution {
     /// constants).
     pub fn is_complete(&self) -> bool {
         let symbols: VarSet = self.relations.symbols();
-        self.rewritten
-            .vars()
-            .iter()
-            .all(|v| symbols.contains(v))
+        self.rewritten.vars().iter().all(|v| symbols.contains(v))
     }
 
     /// Verifies the rewrite: substituting every element's polynomial back for
@@ -65,7 +62,10 @@ impl MappingSolution {
     /// Picks the better of two solutions under the paper's criterion: best
     /// performance among those with sufficient accuracy.
     pub fn better_of(self, other: MappingSolution, tolerance: f64) -> MappingSolution {
-        match (self.is_accurate_within(tolerance), other.is_accurate_within(tolerance)) {
+        match (
+            self.is_accurate_within(tolerance),
+            other.is_accurate_within(tolerance),
+        ) {
             (true, false) => self,
             (false, true) => other,
             _ => {
@@ -95,7 +95,11 @@ impl MappingSolution {
             "{} -> {} using {} ({} cycles, err {:.1e})",
             self.target,
             self.rewritten,
-            if elements.is_empty() { "no elements".to_string() } else { elements.join(", ") },
+            if elements.is_empty() {
+                "no elements".to_string()
+            } else {
+                elements.join(", ")
+            },
             self.cost.cycles,
             self.accuracy
         )
@@ -127,7 +131,10 @@ mod tests {
             rewritten: Poly::parse("s^2").unwrap(),
             used_elements: vec![("sum".to_string(), 1)],
             relations,
-            cost: CostEstimate { cycles: 10, energy_nj: 5.0 },
+            cost: CostEstimate {
+                cycles: 10,
+                energy_nj: 5.0,
+            },
             accuracy: 1e-7,
             nodes_explored: 3,
         }
@@ -154,16 +161,24 @@ mod tests {
     #[test]
     fn better_of_prefers_accuracy_then_cost() {
         let accurate_slow = MappingSolution {
-            cost: CostEstimate { cycles: 100, energy_nj: 1.0 },
+            cost: CostEstimate {
+                cycles: 100,
+                energy_nj: 1.0,
+            },
             accuracy: 1e-9,
             ..toy_solution()
         };
         let inaccurate_fast = MappingSolution {
-            cost: CostEstimate { cycles: 1, energy_nj: 0.1 },
+            cost: CostEstimate {
+                cycles: 1,
+                energy_nj: 0.1,
+            },
             accuracy: 1.0,
             ..toy_solution()
         };
-        let winner = inaccurate_fast.clone().better_of(accurate_slow.clone(), 1e-6);
+        let winner = inaccurate_fast
+            .clone()
+            .better_of(accurate_slow.clone(), 1e-6);
         assert_eq!(winner.cost.cycles, 100);
         // With a loose tolerance the cheaper one wins.
         let winner = inaccurate_fast.better_of(accurate_slow, 10.0);

@@ -224,16 +224,25 @@ pub fn table6_libraries(badge: &Badge4) -> Vec<(String, Library)> {
         ("Original".to_string(), reference.clone()),
         (
             "IPP SubBand".to_string(),
-            Library::union("ref+ipp-subband", &[&reference, &only(&ipp, &[names::IPP_SUBBAND])]),
+            Library::union(
+                "ref+ipp-subband",
+                &[&reference, &only(&ipp, &[names::IPP_SUBBAND])],
+            ),
         ),
         (
             "IPP SubBand & IMDCT".to_string(),
             Library::union(
                 "ref+ipp-subband-imdct",
-                &[&reference, &only(&ipp, &[names::IPP_SUBBAND, names::IPP_IMDCT])],
+                &[
+                    &reference,
+                    &only(&ipp, &[names::IPP_SUBBAND, names::IPP_IMDCT]),
+                ],
             ),
         ),
-        ("IH Library".to_string(), Library::union("ref+lm+ih", &[&reference, &lm, &ih])),
+        (
+            "IH Library".to_string(),
+            Library::union("ref+lm+ih", &[&reference, &lm, &ih]),
+        ),
         (
             "IH + IPP SubBand".to_string(),
             Library::union(
@@ -306,7 +315,10 @@ mod tests {
         assert!(factor > 50.0, "perf factor {factor}");
         assert!(optimized.energy_factor_vs(&original) > 50.0);
         assert!(!optimized.mapping_summary.is_empty());
-        assert!(optimized.real_time_headroom(pipeline.stream_frames()) > original.real_time_headroom(pipeline.stream_frames()));
+        assert!(
+            optimized.real_time_headroom(pipeline.stream_frames())
+                > original.real_time_headroom(pipeline.stream_frames())
+        );
     }
 
     #[test]

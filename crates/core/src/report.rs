@@ -36,7 +36,11 @@ pub fn render_table1(badge: &Badge4) -> String {
     ));
     for (label, name) in rows {
         let s = seconds(name);
-        let baseline = if label.contains("SubBand") { float_subband } else { float_imdct };
+        let baseline = if label.contains("SubBand") {
+            float_subband
+        } else {
+            float_imdct
+        };
         let ratio = if s > 0.0 { baseline / s } else { 0.0 };
         out.push_str(&format!("{:<22} {:>16.6} {:>22.0}\n", label, s, ratio));
     }
@@ -61,7 +65,10 @@ pub fn render_eq1() -> String {
 
 /// Figure 1 — the Badge4 architecture inventory.
 pub fn render_figure1(badge: &Badge4) -> String {
-    format!("Figure 1. SmartBadge/Badge4 architecture\n{}", badge.describe())
+    format!(
+        "Figure 1. SmartBadge/Badge4 architecture\n{}",
+        badge.describe()
+    )
 }
 
 /// The §3.3 Maple examples: factor/expand, Horner and simplify, reproduced by
@@ -84,9 +91,12 @@ pub fn render_maple_examples() -> String {
 
     let target = Poly::parse("x + x^3*y^2 - 2*x*y^3").expect("valid");
     let mut sr = SideRelations::new();
-    sr.push("p", Poly::parse("x^2 - 2*y").expect("valid")).expect("fresh symbol");
+    sr.push("p", Poly::parse("x^2 - 2*y").expect("valid"))
+        .expect("fresh symbol");
     let simplified = simplify_modulo(&target, &sr, &["x", "y", "p"]).expect("simplify");
-    out.push_str(&format!("  simplify(S, {{p = x^2 - 2*y}}, [x,y,p]) = {simplified}\n"));
+    out.push_str(&format!(
+        "  simplify(S, {{p = x^2 - 2*y}}, [x,y,p]) = {simplified}\n"
+    ));
     out
 }
 
@@ -125,7 +135,9 @@ pub fn render_dvfs(version: &CodeVersion, frames: usize, badge: &Badge4) -> Stri
     let headroom = version.real_time_headroom(frames);
     let cycles_per_frame = version.frame_profile.total_cycles();
     let deadline = symmap_mp3::types::frame_duration_s();
-    let saving = badge.dvfs().energy_saving_factor(cycles_per_frame, deadline);
+    let saving = badge
+        .dvfs()
+        .energy_saving_factor(cycles_per_frame, deadline);
     format!(
         "DVFS headroom for `{}`: {:.2}x faster than real time; \
          running at the slowest deadline-meeting operating point saves a further {:.2}x energy\n",
@@ -151,7 +163,14 @@ mod tests {
     #[test]
     fn table1_contains_all_six_rows_and_ordering() {
         let t = render_table1(&Badge4::new());
-        for label in ["float SubBandSyn", "fixed SubBandSyn", "IPP SubBandSyn", "float IMDCT", "fixed IMDCT", "IPP IMDCT"] {
+        for label in [
+            "float SubBandSyn",
+            "fixed SubBandSyn",
+            "IPP SubBandSyn",
+            "float IMDCT",
+            "fixed IMDCT",
+            "IPP IMDCT",
+        ] {
             assert!(t.contains(label), "missing {label} in\n{t}");
         }
         assert!(t.contains("Execution time ratio"));

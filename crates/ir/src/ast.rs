@@ -75,7 +75,12 @@ pub enum Stmt {
     /// `a[index] = expr;`
     AssignIndex(String, Expr, Expr),
     /// `for (i = start; i < end; i = i + 1) { body }` with constant bounds.
-    For { var: String, start: i64, end: i64, body: Vec<Stmt> },
+    For {
+        var: String,
+        start: i64,
+        end: i64,
+        body: Vec<Stmt>,
+    },
     /// `return expr;`
     Return(Expr),
 }
@@ -130,7 +135,12 @@ fn eval_block(stmts: &[Stmt], env: &mut BTreeMap<String, f64>) -> Result<Option<
                 let v = eval_expr(e, env)?;
                 env.insert(format!("{name}_{idx}"), v);
             }
-            Stmt::For { var, start, end, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 for i in *start..*end {
                     env.insert(var.clone(), i as f64);
                     if let Some(v) = eval_block(body, env)? {
@@ -147,9 +157,9 @@ fn eval_block(stmts: &[Stmt], env: &mut BTreeMap<String, f64>) -> Result<Option<
 fn eval_expr(e: &Expr, env: &BTreeMap<String, f64>) -> Result<f64, IrError> {
     Ok(match e {
         Expr::Number(v) => *v,
-        Expr::Var(name) => {
-            *env.get(name).ok_or_else(|| IrError::UndefinedVariable(name.clone()))?
-        }
+        Expr::Var(name) => *env
+            .get(name)
+            .ok_or_else(|| IrError::UndefinedVariable(name.clone()))?,
         Expr::Binary(a, op, b) => {
             let (a, b) = (eval_expr(a, env)?, eval_expr(b, env)?);
             match op {
@@ -224,11 +234,19 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        Parser { tokens, pos: 0, source }
+        Parser {
+            tokens,
+            pos: 0,
+            source,
+        }
     }
 
     fn err(&self, message: &str) -> IrError {
-        IrError::Parse(format!("{message} (near token {} of `{}`)", self.pos, self.source.trim()))
+        IrError::Parse(format!(
+            "{message} (near token {} of `{}`)",
+            self.pos,
+            self.source.trim()
+        ))
     }
 
     fn peek(&self) -> Option<&str> {
@@ -248,12 +266,17 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(self.err(&format!("expected `{token}`, found `{}`", self.peek().unwrap_or("eof"))))
+            Err(self.err(&format!(
+                "expected `{token}`, found `{}`",
+                self.peek().unwrap_or("eof")
+            )))
         }
     }
 
     fn function(&mut self) -> Result<Function, IrError> {
-        let name = self.bump().ok_or_else(|| self.err("expected function name"))?;
+        let name = self
+            .bump()
+            .ok_or_else(|| self.err("expected function name"))?;
         self.expect("(")?;
         let mut params = Vec::new();
         while self.peek() != Some(")") {
@@ -294,11 +317,15 @@ impl<'a> Parser<'a> {
             Some("for") => {
                 self.pos += 1;
                 self.expect("(")?;
-                let var = self.bump().ok_or_else(|| self.err("expected loop variable"))?;
+                let var = self
+                    .bump()
+                    .ok_or_else(|| self.err("expected loop variable"))?;
                 self.expect("=")?;
                 let start = self.integer()?;
                 self.expect(";")?;
-                let var2 = self.bump().ok_or_else(|| self.err("expected loop variable"))?;
+                let var2 = self
+                    .bump()
+                    .ok_or_else(|| self.err("expected loop variable"))?;
                 if var2 != var {
                     return Err(self.err("loop condition must test the loop variable"));
                 }
@@ -306,7 +333,9 @@ impl<'a> Parser<'a> {
                 let end = self.integer()?;
                 self.expect(";")?;
                 // Accept `i = i + 1` or `i++`.
-                let var3 = self.bump().ok_or_else(|| self.err("expected loop increment"))?;
+                let var3 = self
+                    .bump()
+                    .ok_or_else(|| self.err("expected loop increment"))?;
                 if var3 != var {
                     return Err(self.err("loop increment must update the loop variable"));
                 }
@@ -329,7 +358,12 @@ impl<'a> Parser<'a> {
                 self.expect("{")?;
                 let body = self.block()?;
                 self.expect("}")?;
-                Ok(Stmt::For { var, start, end, body })
+                Ok(Stmt::For {
+                    var,
+                    start,
+                    end,
+                    body,
+                })
             }
             Some(_) => {
                 let name = self.bump().ok_or_else(|| self.err("expected identifier"))?;
@@ -354,7 +388,8 @@ impl<'a> Parser<'a> {
 
     fn integer(&mut self) -> Result<i64, IrError> {
         let t = self.bump().ok_or_else(|| self.err("expected integer"))?;
-        t.parse().map_err(|_| self.err(&format!("`{t}` is not an integer")))
+        t.parse()
+            .map_err(|_| self.err(&format!("`{t}` is not an integer")))
     }
 
     fn expr(&mut self) -> Result<Expr, IrError> {
@@ -393,10 +428,15 @@ impl<'a> Parser<'a> {
                 Ok(e)
             }
             Some("-") => Ok(Expr::Neg(Box::new(self.factor()?))),
-            Some(t) if t.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
-                t.parse().map(Expr::Number).map_err(|_| self.err(&format!("bad number `{t}`")))
-            }
-            Some(t) if t.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') => {
+            Some(t) if t.chars().next().is_some_and(|c| c.is_ascii_digit()) => t
+                .parse()
+                .map(Expr::Number)
+                .map_err(|_| self.err(&format!("bad number `{t}`"))),
+            Some(t)
+                if t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_') =>
+            {
                 let name = t.to_string();
                 if self.peek() == Some("(") {
                     self.pos += 1;

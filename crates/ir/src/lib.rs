@@ -28,6 +28,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod ast;
 pub mod polyextract;
 pub mod transform;

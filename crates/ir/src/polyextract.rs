@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn straight_line_code_extracts_exactly() {
         let f = Function::parse("f(x, y) { t = x + y; return t * t; }").unwrap();
-        assert_eq!(extract_polynomial(&f).unwrap(), Poly::parse("x^2 + 2*x*y + y^2").unwrap());
+        assert_eq!(
+            extract_polynomial(&f).unwrap(),
+            Poly::parse("x^2 + 2*x*y + y^2").unwrap()
+        );
     }
 
     #[test]
@@ -121,7 +124,10 @@ mod tests {
         )
         .unwrap();
         let poly = extract_polynomial(&f).unwrap();
-        assert_eq!(poly, Poly::parse("c_0*y_0 + c_1*y_1 + c_2*y_2 + c_3*y_3").unwrap());
+        assert_eq!(
+            poly,
+            Poly::parse("c_0*y_0 + c_1*y_1 + c_2*y_2 + c_3*y_3").unwrap()
+        );
         assert_eq!(poly.num_terms(), 4);
     }
 
@@ -134,19 +140,27 @@ mod tests {
         asn.insert(Var::new("x"), 0.1);
         assert!((poly.eval_f64(&asn) - (0.1_f64.exp() - 1.0)).abs() < 1e-6);
         // Constant term vanishes.
-        assert!(poly.coefficient(&symmap_algebra::monomial::Monomial::one()).is_zero());
+        assert!(poly
+            .coefficient(&symmap_algebra::monomial::Monomial::one())
+            .is_zero());
     }
 
     #[test]
     fn division_by_variable_is_rejected() {
         let f = Function::parse("f(x, y) { return x / y; }").unwrap();
-        assert!(matches!(extract_polynomial(&f), Err(IrError::NotPolynomial(_))));
+        assert!(matches!(
+            extract_polynomial(&f),
+            Err(IrError::NotPolynomial(_))
+        ));
     }
 
     #[test]
     fn division_by_constant_is_fine() {
         let f = Function::parse("f(x) { return (x + 1) / 2; }").unwrap();
-        assert_eq!(extract_polynomial(&f).unwrap(), Poly::parse("x/2 + 1/2").unwrap());
+        assert_eq!(
+            extract_polynomial(&f).unwrap(),
+            Poly::parse("x/2 + 1/2").unwrap()
+        );
     }
 
     #[test]
@@ -165,13 +179,19 @@ mod tests {
             asn.insert(Var::new("x"), x);
             asn.insert(Var::new("y"), y);
             let direct = f.eval(&[x, y]).unwrap();
-            assert!((poly.eval_f64(&asn) - direct).abs() < 1e-9, "mismatch at ({x},{y})");
+            assert!(
+                (poly.eval_f64(&asn) - direct).abs() < 1e-9,
+                "mismatch at ({x},{y})"
+            );
         }
     }
 
     #[test]
     fn missing_return_is_reported() {
         let f = Function::parse("f(x) { y = x * 2; }").unwrap();
-        assert!(matches!(extract_polynomial(&f), Err(IrError::MissingReturn)));
+        assert!(matches!(
+            extract_polynomial(&f),
+            Err(IrError::MissingReturn)
+        ));
     }
 }

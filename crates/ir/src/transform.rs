@@ -10,17 +10,28 @@ use crate::ast::{BinOp, Expr, Function, Stmt};
 /// references and constant array indices are resolved so the body becomes
 /// straight-line code.
 pub fn unroll_loops(f: &Function) -> Function {
-    Function { name: f.name.clone(), params: f.params.clone(), body: unroll_block(&f.body) }
+    Function {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        body: unroll_block(&f.body),
+    }
 }
 
 fn unroll_block(stmts: &[Stmt]) -> Vec<Stmt> {
     let mut out = Vec::new();
     for stmt in stmts {
         match stmt {
-            Stmt::For { var, start, end, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 for i in *start..*end {
-                    let substituted: Vec<Stmt> =
-                        body.iter().map(|s| substitute_stmt(s, var, i as f64)).collect();
+                    let substituted: Vec<Stmt> = body
+                        .iter()
+                        .map(|s| substitute_stmt(s, var, i as f64))
+                        .collect();
                     out.extend(unroll_block(&substituted));
                 }
             }
@@ -38,11 +49,19 @@ fn substitute_stmt(stmt: &Stmt, var: &str, value: f64) -> Stmt {
             substitute_expr(index, var, value),
             substitute_expr(e, var, value),
         ),
-        Stmt::For { var: inner, start, end, body } => Stmt::For {
+        Stmt::For {
+            var: inner,
+            start,
+            end,
+            body,
+        } => Stmt::For {
             var: inner.clone(),
             start: *start,
             end: *end,
-            body: body.iter().map(|s| substitute_stmt(s, var, value)).collect(),
+            body: body
+                .iter()
+                .map(|s| substitute_stmt(s, var, value))
+                .collect(),
         },
         Stmt::Return(e) => Stmt::Return(substitute_expr(e, var, value)),
     }
@@ -88,7 +107,12 @@ fn fold_stmt(stmt: &Stmt) -> Stmt {
                 Stmt::AssignIndex(name.clone(), index, value)
             }
         }
-        Stmt::For { var, start, end, body } => Stmt::For {
+        Stmt::For {
+            var,
+            start,
+            end,
+            body,
+        } => Stmt::For {
             var: var.clone(),
             start: *start,
             end: *end,
@@ -166,7 +190,11 @@ pub fn propagate_and_inline(f: &Function) -> Function {
             other => body.push(other.clone()),
         }
     }
-    Function { name: f.name.clone(), params: f.params.clone(), body }
+    Function {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        body,
+    }
 }
 
 fn inline_expr(e: &Expr, defs: &BTreeMap<String, Expr>) -> Expr {
@@ -227,8 +255,8 @@ mod tests {
 
     #[test]
     fn propagation_inlines_temporaries() {
-        let f = Function::parse("f(x, y) { t = x + y; u = t * t; dead = x * 99; return u; }")
-            .unwrap();
+        let f =
+            Function::parse("f(x, y) { t = x + y; u = t * t; dead = x * 99; return u; }").unwrap();
         let n = normalize(&f);
         // The single remaining statement is the return; dead code is gone.
         assert_eq!(n.body.len(), 1);

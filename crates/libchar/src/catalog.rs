@@ -109,7 +109,9 @@ pub fn hybrid_polynomial() -> Poly {
 /// Per-frame operation counts of one subband-synthesis variant.
 fn subband_frame_ops(variant: synthesis::SynthesisVariant) -> OpCounts {
     let mut filter = synthesis::PolyphaseSynthesis::new(variant);
-    let bands: Vec<f64> = (0..SUBBANDS).map(|k| 0.3 * ((k as f64) * 0.2).cos()).collect();
+    let bands: Vec<f64> = (0..SUBBANDS)
+        .map(|k| 0.3 * ((k as f64) * 0.2).cos())
+        .collect();
     let mut ops = OpCounts::new();
     for _ in 0..LINES_PER_SUBBAND * GRANULES_PER_FRAME {
         filter.process(&bands, &mut ops);
@@ -119,7 +121,9 @@ fn subband_frame_ops(variant: synthesis::SynthesisVariant) -> OpCounts {
 
 /// Per-frame operation counts of one IMDCT variant.
 fn imdct_frame_ops(kernel: fn(&[f64], &mut OpCounts) -> Vec<f64>) -> OpCounts {
-    let input: Vec<f64> = (0..LINES_PER_SUBBAND).map(|k| ((k as f64) * 0.5).sin()).collect();
+    let input: Vec<f64> = (0..LINES_PER_SUBBAND)
+        .map(|k| ((k as f64) * 0.5).sin())
+        .collect();
     let mut ops = OpCounts::new();
     for _ in 0..SUBBANDS * GRANULES_PER_FRAME {
         kernel(&input, &mut ops);
@@ -160,9 +164,10 @@ pub fn invocations_per_frame(element_name: &str) -> u64 {
     } else if element_name.ends_with("imdct") {
         // One IMDCT output sample: 36 outputs per subband block, 32 blocks.
         (36 * SUBBANDS) as u64
-    } else if element_name.contains("dequantize") {
-        SAMPLES_PER_GRANULE as u64
-    } else if element_name.contains("stereo") || element_name.contains("hybrid") {
+    } else if element_name.contains("dequantize")
+        || element_name.contains("stereo")
+        || element_name.contains("hybrid")
+    {
         SAMPLES_PER_GRANULE as u64
     } else if element_name.contains("antialias") {
         (8 * (SUBBANDS - 1)) as u64
@@ -176,6 +181,7 @@ pub fn invocations_per_frame(element_name: &str) -> u64 {
 /// [`invocations_per_frame`]).
 pub const MATRIX_OUTPUTS: usize = 64;
 
+#[allow(clippy::too_many_arguments)] // one argument per Table 1 column
 fn characterized(
     characterizer: &Characterizer,
     name: &str,
@@ -236,12 +242,32 @@ pub fn reference_library(badge: &Badge4) -> Library {
     ));
     let small = |name: &str, symbol: &str, poly: Poly, float_ops: u64| {
         let mut ops = OpCounts::new();
-        ops.add(symmap_platform::cost::InstructionClass::FloatMulSoft, float_ops);
-        ops.add(symmap_platform::cost::InstructionClass::FloatAddSoft, float_ops);
-        characterized(&c, name, symbol, poly, ops, 1e-15, NumericFormat::Double, LibrarySource::LinuxMath)
+        ops.add(
+            symmap_platform::cost::InstructionClass::FloatMulSoft,
+            float_ops,
+        );
+        ops.add(
+            symmap_platform::cost::InstructionClass::FloatAddSoft,
+            float_ops,
+        );
+        characterized(
+            &c,
+            name,
+            symbol,
+            poly,
+            ops,
+            1e-15,
+            NumericFormat::Double,
+            LibrarySource::LinuxMath,
+        )
     };
     lib.push(small(names::FLOAT_STEREO, "st", stereo_polynomial(), 2));
-    lib.push(small(names::FLOAT_ANTIALIAS, "aa", antialias_polynomial(), 2));
+    lib.push(small(
+        names::FLOAT_ANTIALIAS,
+        "aa",
+        antialias_polynomial(),
+        2,
+    ));
     lib.push(small(names::FLOAT_HYBRID, "hy", hybrid_polynomial(), 1));
     lib
 }
@@ -320,12 +346,32 @@ pub fn in_house_library(badge: &Badge4) -> Library {
         )
     };
     lib.push(small(names::FIXED_STEREO, "st", stereo_polynomial(), 2));
-    lib.push(small(names::FIXED_ANTIALIAS, "aa", antialias_polynomial(), 2));
+    lib.push(small(
+        names::FIXED_ANTIALIAS,
+        "aa",
+        antialias_polynomial(),
+        2,
+    ));
     lib.push(small(names::FIXED_HYBRID, "hy", hybrid_polynomial(), 1));
     // Scalar fixed-point replacements for the LM transcendentals.
-    lib.push(small("fixed_exp", "e_x", series_poly(Function::Exp, 6, "x"), 12));
-    lib.push(small("fixed_log1p", "ln_x", series_poly(Function::Ln1p, 6, "x"), 12));
-    lib.push(small("fixed_pow43_table", "pw_x", series_poly(Function::Pow43, 5, "x"), 4));
+    lib.push(small(
+        "fixed_exp",
+        "e_x",
+        series_poly(Function::Exp, 6, "x"),
+        12,
+    ));
+    lib.push(small(
+        "fixed_log1p",
+        "ln_x",
+        series_poly(Function::Ln1p, 6, "x"),
+        12,
+    ));
+    lib.push(small(
+        "fixed_pow43_table",
+        "pw_x",
+        series_poly(Function::Pow43, 5, "x"),
+        4,
+    ));
     lib
 }
 
@@ -371,16 +417,44 @@ pub fn log_library(badge: &Badge4) -> Library {
     let c = Characterizer::new(badge.clone());
     let poly = series_poly(Function::Ln1p, 6, "x");
     let mut lib = Library::new("log-example");
-    let entry = |name: &str, cycles_class: (symmap_platform::cost::InstructionClass, u64), accuracy, format, source| {
+    let entry = |name: &str,
+                 cycles_class: (symmap_platform::cost::InstructionClass, u64),
+                 accuracy,
+                 format,
+                 source| {
         let mut ops = OpCounts::new();
         ops.add(cycles_class.0, cycles_class.1);
         characterized(&c, name, "lg", poly.clone(), ops, accuracy, format, source)
     };
     use symmap_platform::cost::InstructionClass::*;
-    lib.push(entry("log_double", (LibmCall, 1), 1e-15, NumericFormat::Double, LibrarySource::LinuxMath));
-    lib.push(entry("log_float", (FloatMulSoft, 22), 1e-7, NumericFormat::Single, LibrarySource::LinuxMath));
-    lib.push(entry("log_fixed_bitmanip", (IntAlu, 28), 3e-3, NumericFormat::Fixed(16, 15), LibrarySource::InHouse));
-    lib.push(entry("log_fixed_poly", (IntMac, 14), 2e-5, NumericFormat::Fixed(16, 15), LibrarySource::InHouse));
+    lib.push(entry(
+        "log_double",
+        (LibmCall, 1),
+        1e-15,
+        NumericFormat::Double,
+        LibrarySource::LinuxMath,
+    ));
+    lib.push(entry(
+        "log_float",
+        (FloatMulSoft, 22),
+        1e-7,
+        NumericFormat::Single,
+        LibrarySource::LinuxMath,
+    ));
+    lib.push(entry(
+        "log_fixed_bitmanip",
+        (IntAlu, 28),
+        3e-3,
+        NumericFormat::Fixed(16, 15),
+        LibrarySource::InHouse,
+    ));
+    lib.push(entry(
+        "log_fixed_poly",
+        (IntMac, 14),
+        2e-5,
+        NumericFormat::Fixed(16, 15),
+        LibrarySource::InHouse,
+    ));
     lib
 }
 
@@ -463,12 +537,27 @@ mod tests {
 
     #[test]
     fn polynomials_are_nontrivial() {
-        assert_eq!(dequantizer_polynomial().degree_in(symmap_algebra::var::Var::new("q")), 4);
+        assert_eq!(
+            dequantizer_polynomial().degree_in(symmap_algebra::var::Var::new("q")),
+            4
+        );
         assert_eq!(stereo_polynomial().num_terms(), 2);
         assert_eq!(antialias_polynomial().num_terms(), 2);
         let badge = Badge4::new();
         let ih = in_house_library(&badge);
-        assert_eq!(ih.element(names::FIXED_IMDCT).unwrap().polynomial().num_terms(), 18);
-        assert_eq!(ih.element(names::FIXED_SUBBAND).unwrap().polynomial().num_terms(), 32);
+        assert_eq!(
+            ih.element(names::FIXED_IMDCT)
+                .unwrap()
+                .polynomial()
+                .num_terms(),
+            18
+        );
+        assert_eq!(
+            ih.element(names::FIXED_SUBBAND)
+                .unwrap()
+                .polynomial()
+                .num_terms(),
+            32
+        );
     }
 }

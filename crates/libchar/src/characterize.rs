@@ -25,7 +25,11 @@ pub struct Measurement {
 
 impl From<ExecutionCost> for Measurement {
     fn from(c: ExecutionCost) -> Self {
-        Measurement { cycles: c.cycles, seconds: c.seconds, energy_nj: c.energy_j * 1e9 }
+        Measurement {
+            cycles: c.cycles,
+            seconds: c.seconds,
+            energy_nj: c.energy_j * 1e9,
+        }
     }
 }
 
@@ -111,7 +115,10 @@ mod tests {
         fixed_ops.add(InstructionClass::IntMac, 1000);
         let ratio = characterizer.ratio(&float_ops, &fixed_ops);
         assert!(ratio > 20.0, "float/fixed ratio {ratio}");
-        assert_eq!(characterizer.ratio(&float_ops, &OpCounts::new()), f64::INFINITY);
+        assert_eq!(
+            characterizer.ratio(&float_ops, &OpCounts::new()),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -166,7 +166,11 @@ pub struct BuildElementError {
 
 impl fmt::Display for BuildElementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "library element `{}` has no polynomial representation", self.name)
+        write!(
+            f,
+            "library element `{}` has no polynomial representation",
+            self.name
+        )
     }
 }
 
@@ -215,7 +219,9 @@ impl LibraryElementBuilder {
     ///
     /// Returns [`BuildElementError`] if no polynomial representation was set.
     pub fn build(self) -> Result<LibraryElement, BuildElementError> {
-        let polynomial = self.polynomial.ok_or(BuildElementError { name: self.name.clone() })?;
+        let polynomial = self.polynomial.ok_or(BuildElementError {
+            name: self.name.clone(),
+        })?;
         Ok(LibraryElement {
             name: self.name,
             output_symbol: self.output_symbol,

@@ -25,6 +25,8 @@
 //! assert!(subband.cycles() > 0);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod catalog;
 pub mod characterize;
 pub mod element;

@@ -32,7 +32,10 @@ pub struct Library {
 impl Library {
     /// Creates an empty library.
     pub fn new(name: &str) -> Self {
-        Library { name: name.to_string(), elements: Vec::new() }
+        Library {
+            name: name.to_string(),
+            elements: Vec::new(),
+        }
     }
 
     /// The library's name.
@@ -43,7 +46,11 @@ impl Library {
     /// Adds an element. Elements with duplicate names replace the earlier one
     /// (re-characterization updates in place).
     pub fn push(&mut self, element: LibraryElement) {
-        if let Some(existing) = self.elements.iter_mut().find(|e| e.name() == element.name()) {
+        if let Some(existing) = self
+            .elements
+            .iter_mut()
+            .find(|e| e.name() == element.name())
+        {
             *existing = element;
         } else {
             self.elements.push(element);
@@ -72,7 +79,10 @@ impl Library {
 
     /// Elements from a specific source library.
     pub fn from_source(&self, source: LibrarySource) -> Vec<&LibraryElement> {
-        self.elements.iter().filter(|e| e.source() == source).collect()
+        self.elements
+            .iter()
+            .filter(|e| e.source() == source)
+            .collect()
     }
 
     /// Merges another library into this one (its elements override same-named
@@ -105,7 +115,12 @@ impl Library {
 
 impl fmt::Display for Library {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "library `{}` ({} elements)", self.name, self.elements.len())?;
+        writeln!(
+            f,
+            "library `{}` ({} elements)",
+            self.name,
+            self.elements.len()
+        )?;
         for e in &self.elements {
             writeln!(f, "  {e}")?;
         }
@@ -170,7 +185,12 @@ mod tests {
     #[test]
     fn alternatives_share_functionality() {
         let mut lib = Library::new("test");
-        lib.push(element("exp_double", "1 + x", LibrarySource::LinuxMath, 900));
+        lib.push(element(
+            "exp_double",
+            "1 + x",
+            LibrarySource::LinuxMath,
+            900,
+        ));
         lib.push(element("exp_fixed", "1 + x", LibrarySource::InHouse, 40));
         lib.push(element("log_fixed", "x - 1", LibrarySource::InHouse, 50));
         let e = lib.element("exp_double").unwrap().clone();

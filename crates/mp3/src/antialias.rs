@@ -12,7 +12,9 @@ use crate::types::{LINES_PER_SUBBAND, SAMPLES_PER_GRANULE, SUBBANDS};
 pub const BUTTERFLIES: usize = 8;
 
 /// The standard's antialias coefficients `c_i`.
-const C: [f64; BUTTERFLIES] = [-0.6, -0.535, -0.33, -0.185, -0.095, -0.041, -0.0142, -0.0037];
+const C: [f64; BUTTERFLIES] = [
+    -0.6, -0.535, -0.33, -0.185, -0.095, -0.041, -0.0142, -0.0037,
+];
 
 /// Returns the `(cs, ca)` coefficient pairs.
 pub fn coefficients() -> [(f64, f64); BUTTERFLIES] {
@@ -35,7 +37,11 @@ pub enum AntialiasVariant {
 
 /// Applies the antialiasing butterflies in place.
 pub fn process(spectrum: &mut [f64], variant: AntialiasVariant, ops: &mut OpCounts) {
-    assert_eq!(spectrum.len(), SAMPLES_PER_GRANULE, "antialias stage expects one granule");
+    assert_eq!(
+        spectrum.len(),
+        SAMPLES_PER_GRANULE,
+        "antialias stage expects one granule"
+    );
     let coeffs = coefficients();
     for sb in 1..SUBBANDS {
         for (i, &(cs, ca)) in coeffs.iter().enumerate() {
@@ -79,8 +85,9 @@ mod tests {
 
     #[test]
     fn butterflies_preserve_energy() {
-        let mut spectrum: Vec<f64> =
-            (0..SAMPLES_PER_GRANULE).map(|i| ((i as f64) * 0.1).sin()).collect();
+        let mut spectrum: Vec<f64> = (0..SAMPLES_PER_GRANULE)
+            .map(|i| ((i as f64) * 0.1).sin())
+            .collect();
         let before: f64 = spectrum.iter().map(|v| v * v).sum();
         let mut ops = OpCounts::new();
         process(&mut spectrum, AntialiasVariant::Reference, &mut ops);

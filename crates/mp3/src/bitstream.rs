@@ -41,7 +41,12 @@ impl BitWriter {
         if self.bytes.is_empty() {
             0
         } else {
-            (self.bytes.len() - 1) * 8 + if self.bit_pos == 0 { 8 } else { self.bit_pos as usize }
+            (self.bytes.len() - 1) * 8
+                + if self.bit_pos == 0 {
+                    8
+                } else {
+                    self.bit_pos as usize
+                }
         }
     }
 

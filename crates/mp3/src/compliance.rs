@@ -1,7 +1,7 @@
 //! MPEG-style compliance testing.
 //!
 //! The paper validates every optimization step against the MPEG compliance
-//! test [17]: the RMS error between the reference decoder's output and the
+//! test \[17\]: the RMS error between the reference decoder's output and the
 //! optimized decoder's output determines the level of conformance. This module
 //! reproduces that accept/reject decision so the mapper has an accuracy
 //! feedback routine.
@@ -52,7 +52,11 @@ impl ComplianceReport {
 ///
 /// Panics if the two slices have different lengths.
 pub fn compare(reference: &[f64], candidate: &[f64]) -> ComplianceReport {
-    assert_eq!(reference.len(), candidate.len(), "outputs must have equal length");
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "outputs must have equal length"
+    );
     if reference.is_empty() {
         return ComplianceReport {
             rms_error: 0.0,
@@ -76,7 +80,12 @@ pub fn compare(reference: &[f64], candidate: &[f64]) -> ComplianceReport {
     } else {
         ComplianceLevel::NonConforming
     };
-    ComplianceReport { rms_error, max_error, samples: reference.len(), level }
+    ComplianceReport {
+        rms_error,
+        max_error,
+        samples: reference.len(),
+        level,
+    }
 }
 
 #[cfg(test)]
@@ -95,8 +104,11 @@ mod tests {
     #[test]
     fn small_quantization_noise_is_limited_accuracy() {
         let reference: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.01).sin()).collect();
-        let candidate: Vec<f64> =
-            reference.iter().enumerate().map(|(i, &v)| v + if i % 2 == 0 { 5e-5 } else { -5e-5 }).collect();
+        let candidate: Vec<f64> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 5e-5 } else { -5e-5 })
+            .collect();
         let report = compare(&reference, &candidate);
         assert_eq!(report.level, ComplianceLevel::LimitedAccuracy);
         assert!(report.is_sufficient());
@@ -127,6 +139,6 @@ mod tests {
 
     #[test]
     fn thresholds_are_ordered() {
-        assert!(FULL_ACCURACY_RMS < LIMITED_ACCURACY_RMS);
+        const { assert!(FULL_ACCURACY_RMS < LIMITED_ACCURACY_RMS) }
     }
 }

@@ -220,13 +220,9 @@ impl Decoder {
         //    so the decode loop does real bit-level work).
         let encoded = huffman::encode(&granule.quantized, &self.huffman_table);
         let mut ops = OpCounts::new();
-        let quantized = huffman::decode(
-            &encoded,
-            SAMPLES_PER_GRANULE,
-            &self.huffman_table,
-            &mut ops,
-        )
-        .expect("self-generated stream is always decodable");
+        let quantized =
+            huffman::decode(&encoded, SAMPLES_PER_GRANULE, &self.huffman_table, &mut ops)
+                .expect("self-generated stream is always decodable");
         profiler.record("III_hufman_decode", &scale_down(&ops, self.control_scale()));
 
         // 2. Scale-factor decoding (small, control dominated).
@@ -234,15 +230,27 @@ impl Decoder {
         ops.add(InstructionClass::IntAlu, 4 * SUBBANDS as u64);
         ops.add(InstructionClass::Load, 2 * SUBBANDS as u64);
         ops.add(InstructionClass::Store, SUBBANDS as u64);
-        profiler.record("III_get_scale_factors", &scale_down(&ops, self.control_scale()));
+        profiler.record(
+            "III_get_scale_factors",
+            &scale_down(&ops, self.control_scale()),
+        );
 
         // 3. Requantization.
-        let granule_for_dequant = Granule { quantized, ..granule.clone() };
+        let granule_for_dequant = Granule {
+            quantized,
+            ..granule.clone()
+        };
         let mut ops = OpCounts::new();
         let mut spectrum = match self.kernels.dequantize {
-            KernelVariant::Reference => dequant::dequantize_reference(&granule_for_dequant, &mut ops),
-            KernelVariant::Fixed => dequant::dequantize_fixed(&granule_for_dequant, &self.pow43, &mut ops),
-            KernelVariant::Ipp => dequant::dequantize_ipp(&granule_for_dequant, &self.pow43, &mut ops),
+            KernelVariant::Reference => {
+                dequant::dequantize_reference(&granule_for_dequant, &mut ops)
+            }
+            KernelVariant::Fixed => {
+                dequant::dequantize_fixed(&granule_for_dequant, &self.pow43, &mut ops)
+            }
+            KernelVariant::Ipp => {
+                dequant::dequantize_ipp(&granule_for_dequant, &self.pow43, &mut ops)
+            }
         };
         profiler.record("III_dequantize_sample", &ops);
 
@@ -273,7 +281,9 @@ impl Decoder {
 
         // 7. IMDCT per subband.
         let imdct_kernel = match self.kernels.imdct {
-            KernelVariant::Reference => imdct::imdct_reference as fn(&[f64], &mut OpCounts) -> Vec<f64>,
+            KernelVariant::Reference => {
+                imdct::imdct_reference as fn(&[f64], &mut OpCounts) -> Vec<f64>
+            }
             KernelVariant::Fixed => imdct::imdct_fixed,
             KernelVariant::Ipp => imdct::imdct_ipp,
         };
@@ -387,7 +397,7 @@ mod tests {
     fn optimized_versions_are_progressively_faster() {
         let frame = one_frame();
         let badge = Badge4::new();
-        let mut time_of = |kernels: KernelSet| {
+        let time_of = |kernels: KernelSet| {
             let profiler = Profiler::new();
             Decoder::new(kernels).decode_frame(&frame, &profiler);
             profiler.profile(&badge).total_seconds()
@@ -407,7 +417,11 @@ mod tests {
         let frames = gen.stream(3);
         let profiler = Profiler::new();
         let reference = Decoder::new(KernelSet::reference()).decode_stream(&frames, &profiler);
-        for kernels in [KernelSet::in_house(), KernelSet::in_house_with_ipp(), KernelSet::ipp_complete()] {
+        for kernels in [
+            KernelSet::in_house(),
+            KernelSet::in_house_with_ipp(),
+            KernelSet::ipp_complete(),
+        ] {
             let candidate = Decoder::new(kernels).decode_stream(&frames, &profiler);
             let report = compliance::compare(&reference, &candidate);
             assert!(

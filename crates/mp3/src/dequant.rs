@@ -58,7 +58,9 @@ pub const POW43_TABLE_SIZE: usize = 8207;
 /// Builds the fixed-point `|is|^(4/3)` table (shared by the IH and IPP
 /// variants; a real port stores it in SRAM).
 pub fn pow43_table() -> Vec<f64> {
-    (0..POW43_TABLE_SIZE).map(|i| (i as f64).powf(4.0 / 3.0)).collect()
+    (0..POW43_TABLE_SIZE)
+        .map(|i| (i as f64).powf(4.0 / 3.0))
+        .collect()
 }
 
 /// In-house fixed-point dequantizer: table lookup plus shift-based scaling.
@@ -71,7 +73,10 @@ pub fn dequantize_fixed(granule: &Granule, table: &[f64], ops: &mut OpCounts) ->
         ops.add(InstructionClass::Load, 2);
         ops.add(InstructionClass::Store, 1);
         ops.add_memory(MemoryRegion::Sram, 1);
-        let mag = table.get(q.unsigned_abs() as usize).copied().unwrap_or_else(|| (q.abs() as f64).powf(4.0 / 3.0));
+        let mag = table
+            .get(q.unsigned_abs() as usize)
+            .copied()
+            .unwrap_or_else(|| (q.abs() as f64).powf(4.0 / 3.0));
         // Fixed-point scaling keeps a 32-bit mantissa of the scale constant.
         let scale = quantize_scale(scale_for(granule, i));
         out[i] = q.signum() as f64 * mag * scale;
@@ -92,7 +97,10 @@ pub fn dequantize_ipp(granule: &Granule, table: &[f64], ops: &mut OpCounts) -> V
             ops.add(InstructionClass::Store, 2);
             ops.add_memory(MemoryRegion::Sram, 1);
         }
-        let mag = table.get(q.unsigned_abs() as usize).copied().unwrap_or_else(|| (q.abs() as f64).powf(4.0 / 3.0));
+        let mag = table
+            .get(q.unsigned_abs() as usize)
+            .copied()
+            .unwrap_or_else(|| (q.abs() as f64).powf(4.0 / 3.0));
         let scale = quantize_scale(scale_for(granule, i));
         out[i] = q.signum() as f64 * mag * scale;
     }
@@ -151,7 +159,10 @@ mod tests {
         let rms_fixed = rms(&reference, &fixed);
         let rms_ipp = rms(&reference, &ipp);
         let signal = rms(&reference, &vec![0.0; reference.len()]);
-        assert!(rms_fixed < signal * 1e-3, "fixed rms {rms_fixed} vs signal {signal}");
+        assert!(
+            rms_fixed < signal * 1e-3,
+            "fixed rms {rms_fixed} vs signal {signal}"
+        );
         assert!(rms_ipp < signal * 1e-3);
     }
 

@@ -11,7 +11,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::huffman::{self, HuffmanTable};
-use crate::types::{Frame, Granule, GRANULES_PER_FRAME, LINES_PER_SUBBAND, SAMPLES_PER_GRANULE, SUBBANDS};
+use crate::types::{
+    Frame, Granule, GRANULES_PER_FRAME, LINES_PER_SUBBAND, SAMPLES_PER_GRANULE, SUBBANDS,
+};
 
 /// Deterministic generator of synthetic frames.
 #[derive(Debug)]
@@ -24,7 +26,11 @@ pub struct FrameGenerator {
 impl FrameGenerator {
     /// Creates a generator with a fixed seed (same seed ⇒ same stream).
     pub fn new(seed: u64) -> Self {
-        FrameGenerator { rng: StdRng::seed_from_u64(seed), table: HuffmanTable::standard(), next_index: 0 }
+        FrameGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            table: HuffmanTable::standard(),
+            next_index: 0,
+        }
     }
 
     /// Generates the next frame.
@@ -61,7 +67,9 @@ impl FrameGenerator {
                 }
             }
         }
-        let scalefactors = (0..SUBBANDS).map(|sb| self.rng.gen_range(0..4) + (sb as i32 / 8)).collect();
+        let scalefactors = (0..SUBBANDS)
+            .map(|sb| self.rng.gen_range(0..4) + (sb as i32 / 8))
+            .collect();
         Granule {
             quantized,
             global_gain: self.rng.gen_range(-8..=8),
@@ -112,7 +120,10 @@ mod tests {
         let g = &frame.granules[0];
         let low_energy: i64 = g.quantized[..144].iter().map(|&v| (v as i64).abs()).sum();
         let high_energy: i64 = g.quantized[432..].iter().map(|&v| (v as i64).abs()).sum();
-        assert!(low_energy > 10 * high_energy.max(1), "low {low_energy} high {high_energy}");
+        assert!(
+            low_energy > 10 * high_energy.max(1),
+            "low {low_energy} high {high_energy}"
+        );
         assert!(g.nonzero_count() > 100);
     }
 

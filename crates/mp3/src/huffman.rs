@@ -74,7 +74,11 @@ impl HuffmanTable {
 
     /// Decodes one magnitude pair by walking the canonical code bit by bit.
     /// Returns `None` on a truncated stream.
-    pub fn decode_pair(&self, reader: &mut BitReader<'_>, ops: &mut OpCounts) -> Option<(u32, u32)> {
+    pub fn decode_pair(
+        &self,
+        reader: &mut BitReader<'_>,
+        ops: &mut OpCounts,
+    ) -> Option<(u32, u32)> {
         let mut code = 0_u32;
         let mut len = 0_u8;
         loop {
@@ -106,10 +110,16 @@ pub fn encode(values: &[i32], table: &HuffmanTable) -> Vec<u8> {
         w.write_bits(code, len);
         // Escape linbits for magnitudes above the direct range.
         if cx == MAX_DIRECT as u32 {
-            w.write_bits((x.unsigned_abs() - MAX_DIRECT as u32) & ((1 << LINBITS) - 1), LINBITS);
+            w.write_bits(
+                (x.unsigned_abs() - MAX_DIRECT as u32) & ((1 << LINBITS) - 1),
+                LINBITS,
+            );
         }
         if cy == MAX_DIRECT as u32 {
-            w.write_bits((y.unsigned_abs() - MAX_DIRECT as u32) & ((1 << LINBITS) - 1), LINBITS);
+            w.write_bits(
+                (y.unsigned_abs() - MAX_DIRECT as u32) & ((1 << LINBITS) - 1),
+                LINBITS,
+            );
         }
         // Sign bits for non-zero values.
         if x != 0 {

@@ -28,7 +28,10 @@ pub struct HybridFilter {
 impl HybridFilter {
     /// Creates the filter with zeroed overlap state.
     pub fn new(variant: HybridVariant) -> Self {
-        HybridFilter { variant, overlap: vec![vec![0.0; LINES_PER_SUBBAND]; SUBBANDS] }
+        HybridFilter {
+            variant,
+            overlap: vec![vec![0.0; LINES_PER_SUBBAND]; SUBBANDS],
+        }
     }
 
     /// The configured variant.
@@ -44,7 +47,10 @@ impl HybridFilter {
     /// Panics if the block shape is not 32 × 36.
     pub fn process(&mut self, blocks: &[Vec<f64>], ops: &mut OpCounts) -> Vec<Vec<f64>> {
         assert_eq!(blocks.len(), SUBBANDS, "hybrid expects 32 IMDCT blocks");
-        assert!(blocks.iter().all(|b| b.len() == IMDCT_SIZE), "hybrid expects 36-sample blocks");
+        assert!(
+            blocks.iter().all(|b| b.len() == IMDCT_SIZE),
+            "hybrid expects 36-sample blocks"
+        );
         let mut slots = vec![vec![0.0_f64; SUBBANDS]; LINES_PER_SUBBAND];
         for (sb, block) in blocks.iter().enumerate() {
             for t in 0..LINES_PER_SUBBAND {

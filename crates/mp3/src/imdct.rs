@@ -35,7 +35,9 @@ pub fn cos_factor(i: usize, k: usize, n: usize) -> f64 {
 
 /// The long-block sine window `w_i = sin(π/n · (i + 1/2))`.
 pub fn window(n: usize) -> Vec<f64> {
-    (0..n).map(|i| (std::f64::consts::PI / n as f64 * (i as f64 + 0.5)).sin()).collect()
+    (0..n)
+        .map(|i| (std::f64::consts::PI / n as f64 * (i as f64 + 0.5)).sin())
+        .collect()
 }
 
 /// Reference double-precision IMDCT of one 18-line subband block, windowed.
@@ -136,8 +138,7 @@ pub fn imdct_granule(
 pub fn imdct_polynomial(i: usize, n: usize) -> Poly {
     let mut poly = Poly::zero();
     for k in 0..n / 2 {
-        let c = Rational::approximate_f64(cos_factor(i, k, n), 1 << 20)
-            .expect("cosine is finite");
+        let c = Rational::approximate_f64(cos_factor(i, k, n), 1 << 20).expect("cosine is finite");
         poly = poly.add(&Poly::from_term(
             symmap_algebra::monomial::Monomial::var(Var::new(&format!("y{k}")), 1),
             c,
@@ -152,7 +153,9 @@ mod tests {
     use crate::types::IMDCT_SIZE;
 
     fn test_input() -> Vec<f64> {
-        (0..LINES_PER_SUBBAND).map(|k| ((k as f64) * 0.7).sin()).collect()
+        (0..LINES_PER_SUBBAND)
+            .map(|k| ((k as f64) * 0.7).sin())
+            .collect()
     }
 
     #[test]
@@ -165,7 +168,7 @@ mod tests {
     #[test]
     fn zero_input_gives_zero_output() {
         let mut ops = OpCounts::new();
-        let out = imdct_reference(&vec![0.0; LINES_PER_SUBBAND], &mut ops);
+        let out = imdct_reference(&[0.0; LINES_PER_SUBBAND], &mut ops);
         assert!(out.iter().all(|&v| v == 0.0));
     }
 
@@ -177,7 +180,10 @@ mod tests {
         let fixed = imdct_fixed(&input, &mut ops);
         let ipp = imdct_ipp(&input, &mut ops);
         for i in 0..IMDCT_SIZE {
-            assert!((reference[i] - fixed[i]).abs() < 1e-4, "fixed diverges at {i}");
+            assert!(
+                (reference[i] - fixed[i]).abs() < 1e-4,
+                "fixed diverges at {i}"
+            );
             assert!((reference[i] - ipp[i]).abs() < 1e-4, "ipp diverges at {i}");
         }
     }
@@ -201,7 +207,9 @@ mod tests {
 
     #[test]
     fn granule_runs_all_subbands() {
-        let spectrum: Vec<f64> = (0..crate::types::SAMPLES_PER_GRANULE).map(|i| (i as f64 * 0.01).cos()).collect();
+        let spectrum: Vec<f64> = (0..crate::types::SAMPLES_PER_GRANULE)
+            .map(|i| (i as f64 * 0.01).cos())
+            .collect();
         let mut ops = OpCounts::new();
         let blocks = imdct_granule(&spectrum, imdct_reference, &mut ops);
         assert_eq!(blocks.len(), crate::types::SUBBANDS);
@@ -222,9 +230,20 @@ mod tests {
             asn.insert(Var::new(&format!("y{k}")), y);
         }
         let from_poly = poly.eval_f64(&asn);
-        let direct: f64 = input.iter().enumerate().map(|(k, &y)| y * cos_factor(i, k, n)).sum();
-        assert!((from_poly - direct).abs() < 1e-4, "poly {from_poly} vs direct {direct}");
-        assert_eq!(poly.total_degree(), 1, "Equation 1 is a first-order polynomial");
+        let direct: f64 = input
+            .iter()
+            .enumerate()
+            .map(|(k, &y)| y * cos_factor(i, k, n))
+            .sum();
+        assert!(
+            (from_poly - direct).abs() < 1e-4,
+            "poly {from_poly} vs direct {direct}"
+        );
+        assert_eq!(
+            poly.total_degree(),
+            1,
+            "Equation 1 is a first-order polynomial"
+        );
         assert_eq!(poly.num_terms(), n / 2);
     }
 

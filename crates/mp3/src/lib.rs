@@ -32,6 +32,8 @@
 //! assert_eq!(pcm.len(), symmap_mp3::types::SAMPLES_PER_GRANULE * symmap_mp3::types::GRANULES_PER_FRAME);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod antialias;
 pub mod bitstream;
 pub mod compliance;

@@ -30,7 +30,11 @@ pub fn process(
     variant: StereoVariant,
     ops: &mut OpCounts,
 ) -> Vec<f64> {
-    assert_eq!(spectrum.len(), SAMPLES_PER_GRANULE, "stereo stage expects one granule");
+    assert_eq!(
+        spectrum.len(),
+        SAMPLES_PER_GRANULE,
+        "stereo stage expects one granule"
+    );
     if !mid_side {
         ops.add(InstructionClass::Load, spectrum.len() as u64);
         ops.add(InstructionClass::Store, spectrum.len() as u64);
@@ -104,6 +108,11 @@ mod tests {
     #[should_panic(expected = "one granule")]
     fn wrong_length_panics() {
         let mut short = vec![0.0; 10];
-        process(&mut short, true, StereoVariant::Reference, &mut OpCounts::new());
+        process(
+            &mut short,
+            true,
+            StereoVariant::Reference,
+            &mut OpCounts::new(),
+        );
     }
 }

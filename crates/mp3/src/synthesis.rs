@@ -54,8 +54,16 @@ pub fn synthesis_window() -> Vec<f64> {
     (0..WINDOW_LEN)
         .map(|i| {
             let t = (i as f64 - 256.0) / 64.0;
-            let sinc = if t.abs() < 1e-12 { 1.0 } else { (std::f64::consts::PI * t).sin() / (std::f64::consts::PI * t) };
-            let hann = 0.5 * (1.0 + (std::f64::consts::PI * i as f64 / WINDOW_LEN as f64 * 2.0 - std::f64::consts::PI).cos());
+            let sinc = if t.abs() < 1e-12 {
+                1.0
+            } else {
+                (std::f64::consts::PI * t).sin() / (std::f64::consts::PI * t)
+            };
+            let hann = 0.5
+                * (1.0
+                    + (std::f64::consts::PI * i as f64 / WINDOW_LEN as f64 * 2.0
+                        - std::f64::consts::PI)
+                        .cos());
             sinc * hann / SUBBANDS as f64
         })
         .collect()
@@ -73,7 +81,11 @@ pub struct PolyphaseSynthesis {
 impl PolyphaseSynthesis {
     /// Creates a filter with an empty FIFO.
     pub fn new(variant: SynthesisVariant) -> Self {
-        PolyphaseSynthesis { variant, fifo: vec![0.0; FIFO_LEN], window: synthesis_window() }
+        PolyphaseSynthesis {
+            variant,
+            fifo: vec![0.0; FIFO_LEN],
+            window: synthesis_window(),
+        }
     }
 
     /// The configured variant.
@@ -88,7 +100,11 @@ impl PolyphaseSynthesis {
     ///
     /// Panics if `bands.len() != 32`.
     pub fn process(&mut self, bands: &[f64], ops: &mut OpCounts) -> Vec<f64> {
-        assert_eq!(bands.len(), SUBBANDS, "synthesis expects 32 subband samples");
+        assert_eq!(
+            bands.len(),
+            SUBBANDS,
+            "synthesis expects 32 subband samples"
+        );
         let quantize = self.variant != SynthesisVariant::Reference;
 
         // 1. Matrixing: 64 outputs from 32 inputs.
@@ -117,8 +133,11 @@ impl PolyphaseSynthesis {
             for tap in 0..16 {
                 let fifo_index = (tap * 64 + ((tap % 2) * 32) + j) % FIFO_LEN;
                 let w = self.window[(tap * 32 + j) % WINDOW_LEN];
-                let (wq, fq) =
-                    if quantize { (q31(w), q31(self.fifo[fifo_index])) } else { (w, self.fifo[fifo_index]) };
+                let (wq, fq) = if quantize {
+                    (q31(w), q31(self.fifo[fifo_index]))
+                } else {
+                    (w, self.fifo[fifo_index])
+                };
                 acc += wq * fq;
             }
             *p = if quantize { q31(acc) } else { acc };
@@ -203,7 +222,9 @@ mod tests {
     use super::*;
 
     fn bands(scale: f64) -> Vec<f64> {
-        (0..SUBBANDS).map(|k| scale * ((k as f64) * 0.3).cos()).collect()
+        (0..SUBBANDS)
+            .map(|k| scale * ((k as f64) * 0.3).cos())
+            .collect()
     }
 
     #[test]
@@ -227,8 +248,14 @@ mod tests {
             let f = fixed.process(&b, &mut ops);
             let i = ipp.process(&b, &mut ops);
             for j in 0..SUBBANDS {
-                assert!((r[j] - f[j]).abs() < 1e-5, "fixed diverges at slot {t} sample {j}");
-                assert!((r[j] - i[j]).abs() < 1e-5, "ipp diverges at slot {t} sample {j}");
+                assert!(
+                    (r[j] - f[j]).abs() < 1e-5,
+                    "fixed diverges at slot {t} sample {j}"
+                );
+                assert!(
+                    (r[j] - i[j]).abs() < 1e-5,
+                    "ipp diverges at slot {t} sample {j}"
+                );
             }
         }
     }
@@ -236,7 +263,7 @@ mod tests {
     #[test]
     fn cost_ordering_matches_table_1() {
         let badge = symmap_platform::machine::Badge4::new();
-        let mut cost = |variant| {
+        let cost = |variant| {
             let mut f = PolyphaseSynthesis::new(variant);
             let mut ops = OpCounts::new();
             for _ in 0..18 {
@@ -286,13 +313,19 @@ mod tests {
         use std::collections::BTreeMap;
         let mut asn = BTreeMap::new();
         asn.insert(Var::new("s0"), 1.0);
-        assert!((p.eval_f64(&asn) - {
-            let mut s = 0.0;
-            for k in 0..SUBBANDS {
-                if k == 0 { s += matrix_coefficient(7, 0); }
-            }
-            s
-        }).abs() < 1e-4);
+        assert!(
+            (p.eval_f64(&asn) - {
+                let mut s = 0.0;
+                for k in 0..SUBBANDS {
+                    if k == 0 {
+                        s += matrix_coefficient(7, 0);
+                    }
+                }
+                s
+            })
+            .abs()
+                < 1e-4
+        );
     }
 
     #[test]

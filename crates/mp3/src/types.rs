@@ -69,7 +69,10 @@ pub struct Frame {
 impl Frame {
     /// A frame of silence.
     pub fn silent(index: u32) -> Self {
-        Frame { granules: vec![Granule::silent(); GRANULES_PER_FRAME], index }
+        Frame {
+            granules: vec![Granule::silent(); GRANULES_PER_FRAME],
+            index,
+        }
     }
 }
 

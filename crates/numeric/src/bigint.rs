@@ -36,7 +36,7 @@ enum Sign {
 ///
 /// The representation is sign-magnitude: `limbs` stores the magnitude in
 /// little-endian base-2³² with no trailing zero limbs; `sign` is
-/// [`Sign::Zero`] iff `limbs` is empty.
+/// `Sign::Zero` iff `limbs` is empty.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BigInt {
     sign: Sign,
@@ -48,7 +48,10 @@ const BASE: u64 = 1 << 32;
 impl BigInt {
     /// The additive identity.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            limbs: Vec::new(),
+        }
     }
 
     /// The multiplicative identity.
@@ -166,8 +169,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0_u64;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let s = limb as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
             out.push((s % BASE) as u32);
             carry = s / BASE;
         }
@@ -182,8 +185,8 @@ impl BigInt {
         debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0_i64;
-        for i in 0..a.len() {
-            let mut d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+        for (i, &limb) in a.iter().enumerate() {
+            let mut d = limb as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
             if d < 0 {
                 d += BASE as i64;
                 borrow = 1;
@@ -326,7 +329,7 @@ impl BigInt {
         let mut carry = 0_u32;
         for &l in a {
             out.push((l << bits) | carry);
-            carry = (l >> (32 - bits)) as u32;
+            carry = l >> (32 - bits);
         }
         if carry > 0 {
             out.push(carry);
@@ -414,7 +417,7 @@ impl BigInt {
 
     /// Returns `true` when the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l % 2 == 0)
+        self.limbs.first().is_none_or(|l| l % 2 == 0)
     }
 }
 
@@ -430,7 +433,7 @@ impl From<i64> for BigInt {
             return BigInt::zero();
         }
         let sign = if v < 0 { Sign::Minus } else { Sign::Plus };
-        let mag = (v as i128).unsigned_abs() as u128;
+        let mag = (v as i128).unsigned_abs();
         let mut limbs = vec![(mag & 0xFFFF_FFFF) as u32];
         if mag >> 32 != 0 {
             limbs.push((mag >> 32) as u32);
@@ -626,7 +629,11 @@ impl Mul for &BigInt {
         if self.is_zero() || rhs.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         BigInt::from_limbs(sign, BigInt::mul_mag(&self.limbs, &rhs.limbs))
     }
 }
@@ -687,7 +694,17 @@ mod tests {
 
     #[test]
     fn from_i64_round_trip() {
-        for v in [0_i64, 1, -1, 42, -42, i64::MAX, i64::MIN + 1, 1 << 32, -(1 << 40)] {
+        for v in [
+            0_i64,
+            1,
+            -1,
+            42,
+            -42,
+            i64::MAX,
+            i64::MIN + 1,
+            1 << 32,
+            -(1 << 40),
+        ] {
             assert_eq!(BigInt::from(v).to_i64().unwrap(), v);
             assert_eq!(BigInt::from(v).to_string(), v.to_string());
         }
@@ -722,7 +739,10 @@ mod tests {
     fn multiplication_known_value() {
         let a: BigInt = "123456789123456789".parse().unwrap();
         let b: BigInt = "987654321987654321".parse().unwrap();
-        assert_eq!((&a * &b).to_string(), "121932631356500531347203169112635269");
+        assert_eq!(
+            (&a * &b).to_string(),
+            "121932631356500531347203169112635269"
+        );
     }
 
     #[test]
@@ -773,13 +793,18 @@ mod tests {
         let three = BigInt::from(3_i64);
         assert_eq!(three.pow(0).to_i64().unwrap(), 1);
         assert_eq!(three.pow(5).to_i64().unwrap(), 243);
-        assert_eq!(BigInt::from(2_i64).pow(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(
+            BigInt::from(2_i64).pow(100).to_string(),
+            "1267650600228229401496703205376"
+        );
     }
 
     #[test]
     fn ordering() {
-        let vals: Vec<BigInt> =
-            [-10_i64, -1, 0, 1, 10].iter().map(|&v| BigInt::from(v)).collect();
+        let vals: Vec<BigInt> = [-10_i64, -1, 0, 1, 10]
+            .iter()
+            .map(|&v| BigInt::from(v))
+            .collect();
         for i in 0..vals.len() {
             for j in 0..vals.len() {
                 assert_eq!(vals[i].cmp(&vals[j]), i.cmp(&j));

@@ -30,13 +30,25 @@ pub struct QFormat {
 
 impl QFormat {
     /// Q0.15: the classic 16-bit audio sample format.
-    pub const Q15: QFormat = QFormat { int_bits: 0, frac_bits: 15 };
+    pub const Q15: QFormat = QFormat {
+        int_bits: 0,
+        frac_bits: 15,
+    };
     /// Q0.31: 32-bit high-precision audio format (used by IPP-style kernels).
-    pub const Q31: QFormat = QFormat { int_bits: 0, frac_bits: 31 };
+    pub const Q31: QFormat = QFormat {
+        int_bits: 0,
+        frac_bits: 31,
+    };
     /// Q16.15: a general-purpose 32-bit format with headroom for intermediate sums.
-    pub const Q16_15: QFormat = QFormat { int_bits: 16, frac_bits: 15 };
+    pub const Q16_15: QFormat = QFormat {
+        int_bits: 16,
+        frac_bits: 15,
+    };
     /// Q8.23: format used by the in-house IMDCT of the reproduction.
-    pub const Q8_23: QFormat = QFormat { int_bits: 8, frac_bits: 23 };
+    pub const Q8_23: QFormat = QFormat {
+        int_bits: 8,
+        frac_bits: 23,
+    };
 
     /// Creates a new format with `int_bits` integer and `frac_bits` fractional bits.
     ///
@@ -46,9 +58,14 @@ impl QFormat {
     /// sign bit) exceeds 63 bits or if `frac_bits` is zero.
     pub fn new(int_bits: u8, frac_bits: u8) -> Result<Self, NumericError> {
         if frac_bits == 0 || int_bits as u32 + frac_bits as u32 > 62 {
-            return Err(NumericError::InvalidFormat(format!("Q{int_bits}.{frac_bits}")));
+            return Err(NumericError::InvalidFormat(format!(
+                "Q{int_bits}.{frac_bits}"
+            )));
         }
-        Ok(QFormat { int_bits, frac_bits })
+        Ok(QFormat {
+            int_bits,
+            frac_bits,
+        })
     }
 
     /// Number of integer bits (excluding the sign bit).
@@ -125,7 +142,10 @@ impl Fixed {
     /// Builds a value directly from its raw integer representation, saturating
     /// to the format's range.
     pub fn from_raw(raw: i64, format: QFormat) -> Self {
-        Fixed { raw: raw.clamp(format.min_value(), format.max_value()), format }
+        Fixed {
+            raw: raw.clamp(format.min_value(), format.max_value()),
+            format,
+        }
     }
 
     /// The raw scaled-integer representation.
@@ -148,6 +168,10 @@ impl Fixed {
     /// # Panics
     ///
     /// Panics if the formats differ.
+    // add/sub/mul/div deliberately shadow the std ops trait names: they
+    // format-check and saturate, and div returns a Result, none of which the
+    // trait signatures express. neg saturates i64::MIN. Same allow on each.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.format, rhs.format, "fixed-point format mismatch");
         Fixed::from_raw(self.raw.saturating_add(rhs.raw), self.format)
@@ -158,6 +182,7 @@ impl Fixed {
     /// # Panics
     ///
     /// Panics if the formats differ.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.format, rhs.format, "fixed-point format mismatch");
         Fixed::from_raw(self.raw.saturating_sub(rhs.raw), self.format)
@@ -169,14 +194,20 @@ impl Fixed {
     /// # Panics
     ///
     /// Panics if the formats differ.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.format, rhs.format, "fixed-point format mismatch");
         let wide = self.raw as i128 * rhs.raw as i128;
         let half = 1_i128 << (self.format.frac_bits - 1);
         let rounded = (wide + half) >> self.format.frac_bits;
-        let clamped =
-            rounded.clamp(self.format.min_value() as i128, self.format.max_value() as i128);
-        Fixed { raw: clamped as i64, format: self.format }
+        let clamped = rounded.clamp(
+            self.format.min_value() as i128,
+            self.format.max_value() as i128,
+        );
+        Fixed {
+            raw: clamped as i64,
+            format: self.format,
+        }
     }
 
     /// Fixed-point division with a widened intermediate dividend.
@@ -188,6 +219,7 @@ impl Fixed {
     /// # Panics
     ///
     /// Panics if the formats differ.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Fixed) -> Result<Fixed, NumericError> {
         assert_eq!(self.format, rhs.format, "fixed-point format mismatch");
         if rhs.raw == 0 {
@@ -195,11 +227,18 @@ impl Fixed {
         }
         let wide = (self.raw as i128) << self.format.frac_bits;
         let q = wide / rhs.raw as i128;
-        let clamped = q.clamp(self.format.min_value() as i128, self.format.max_value() as i128);
-        Ok(Fixed { raw: clamped as i64, format: self.format })
+        let clamped = q.clamp(
+            self.format.min_value() as i128,
+            self.format.max_value() as i128,
+        );
+        Ok(Fixed {
+            raw: clamped as i64,
+            format: self.format,
+        })
     }
 
     /// Negation (saturating at the most negative value).
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Fixed {
         Fixed::from_raw(self.raw.saturating_neg(), self.format)
     }
@@ -216,7 +255,10 @@ impl Fixed {
             ((self.raw as i128) + half) >> shift
         };
         let clamped = raw.clamp(target.min_value() as i128, target.max_value() as i128);
-        Fixed { raw: clamped as i64, format: target }
+        Fixed {
+            raw: clamped as i64,
+            format: target,
+        }
     }
 
     /// Absolute quantization error against a reference real value.
@@ -283,8 +325,8 @@ mod tests {
     #[test]
     fn multiplication_accuracy() {
         let fmt = QFormat::Q31;
-        let a = Fixed::from_f64(0.7071, fmt);
-        let b = Fixed::from_f64(0.7071, fmt);
+        let a = Fixed::from_f64(std::f64::consts::FRAC_1_SQRT_2, fmt);
+        let b = Fixed::from_f64(std::f64::consts::FRAC_1_SQRT_2, fmt);
         assert!((a.mul(b).to_f64() - 0.5).abs() < 1e-4);
     }
 
@@ -316,7 +358,9 @@ mod tests {
 
     #[test]
     fn quantization_rms_decreases_with_precision() {
-        let samples: Vec<f64> = (0..1000).map(|i| ((i as f64) * 0.013).sin() * 0.9).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| ((i as f64) * 0.013).sin() * 0.9)
+            .collect();
         let coarse = quantization_rms(&samples, QFormat::Q15);
         let fine = quantization_rms(&samples, QFormat::Q31);
         assert!(fine < coarse);

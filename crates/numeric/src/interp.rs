@@ -1,6 +1,6 @@
 //! Exact polynomial interpolation.
 //!
-//! The paper (§3.2, following Smith & De Micheli [22]) recovers polynomial
+//! The paper (§3.2, following Smith & De Micheli \[22\]) recovers polynomial
 //! representations of procedures that perform *bit manipulations or Boolean
 //! functions* by interpolation: sample the word-level function on enough
 //! points and reconstruct the unique low-degree polynomial through them. This
@@ -79,7 +79,7 @@ pub fn newton_interpolate(points: &[(Rational, Rational)]) -> Result<Vec<Rationa
             basis = next;
         }
     }
-    while coeffs.len() > 1 && coeffs.last().map_or(false, Rational::is_zero) {
+    while coeffs.len() > 1 && coeffs.last().is_some_and(Rational::is_zero) {
         coeffs.pop();
     }
     Ok(coeffs)
@@ -87,7 +87,10 @@ pub fn newton_interpolate(points: &[(Rational, Rational)]) -> Result<Vec<Rationa
 
 /// Evaluates a dense univariate rational polynomial at `x` (Horner's rule).
 pub fn eval_rational_poly(coeffs: &[Rational], x: &Rational) -> Rational {
-    coeffs.iter().rev().fold(Rational::zero(), |acc, c| &(&acc * x) + c)
+    coeffs
+        .iter()
+        .rev()
+        .fold(Rational::zero(), |acc, c| &(&acc * x) + c)
 }
 
 /// Attempts to identify the minimal-degree polynomial representation of an
@@ -144,9 +147,8 @@ mod tests {
     #[test]
     fn interpolates_cubic_with_rational_points() {
         // f(x) = x^3 - x/2 + 1/3
-        let f = |x: &Rational| {
-            &(&(x * x) * x) - &(&(x * &Rational::new(1, 2)) - &Rational::new(1, 3))
-        };
+        let f =
+            |x: &Rational| &(&(x * x) * x) - &(&(x * &Rational::new(1, 2)) - &Rational::new(1, 3));
         let xs = [r(-2), r(-1), r(0), r(1), r(2)];
         let pts: Vec<_> = xs.iter().map(|x| (x.clone(), f(x))).collect();
         let c = newton_interpolate(&pts).unwrap();

@@ -15,7 +15,7 @@
 //! * [`series`] — Taylor and Chebyshev expansions used in target-code
 //!   identification (§3.2 of the paper),
 //! * [`interp`] — Newton interpolation used to recover polynomial
-//!   representations of bit-manipulation routines (§3.2, ref. [22]).
+//!   representations of bit-manipulation routines (§3.2, ref. \[22\]).
 //!
 //! ## Example
 //!
@@ -26,6 +26,8 @@
 //! let b = Rational::new(1, 6);
 //! assert_eq!(a + b, Rational::new(1, 2));
 //! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bigint;
 pub mod error;

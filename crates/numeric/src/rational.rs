@@ -54,17 +54,26 @@ impl Rational {
 
     /// The additive identity `0/1`.
     pub fn zero() -> Self {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The multiplicative identity `1/1`.
     pub fn one() -> Self {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// An integer rational `n/1`.
     pub fn integer(n: i64) -> Self {
-        Rational { num: BigInt::from(n), den: BigInt::one() }
+        Rational {
+            num: BigInt::from(n),
+            den: BigInt::one(),
+        }
     }
 
     /// Returns `true` if the value is zero.
@@ -104,7 +113,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -286,7 +298,10 @@ impl From<i64> for Rational {
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Self {
-        Rational { num: v, den: BigInt::one() }
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -309,8 +324,11 @@ impl FromStr for Rational {
                 return Err(NumericError::Parse(s.to_string()));
             }
             let negative = int_part.trim_start().starts_with('-');
-            let int: BigInt =
-                if int_part.is_empty() || int_part == "-" { BigInt::zero() } else { int_part.parse()? };
+            let int: BigInt = if int_part.is_empty() || int_part == "-" {
+                BigInt::zero()
+            } else {
+                int_part.parse()?
+            };
             let frac: BigInt = frac_part.parse()?;
             let scale = BigInt::from(10_i64).pow(frac_part.len() as u32);
             let mag = &int.abs() * &scale + frac;
@@ -353,7 +371,10 @@ impl Ord for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -472,10 +493,22 @@ mod tests {
 
     #[test]
     fn add_sub_mul_div_known_values() {
-        assert_eq!(Rational::new(1, 2) + Rational::new(1, 3), Rational::new(5, 6));
-        assert_eq!(Rational::new(1, 2) - Rational::new(1, 3), Rational::new(1, 6));
-        assert_eq!(Rational::new(2, 3) * Rational::new(3, 4), Rational::new(1, 2));
-        assert_eq!(Rational::new(2, 3) / Rational::new(4, 3), Rational::new(1, 2));
+        assert_eq!(
+            Rational::new(1, 2) + Rational::new(1, 3),
+            Rational::new(5, 6)
+        );
+        assert_eq!(
+            Rational::new(1, 2) - Rational::new(1, 3),
+            Rational::new(1, 6)
+        );
+        assert_eq!(
+            Rational::new(2, 3) * Rational::new(3, 4),
+            Rational::new(1, 2)
+        );
+        assert_eq!(
+            Rational::new(2, 3) / Rational::new(4, 3),
+            Rational::new(1, 2)
+        );
     }
 
     #[test]

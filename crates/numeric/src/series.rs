@@ -89,23 +89,23 @@ pub fn taylor(f: Function, terms: usize) -> Vec<f64> {
         }
         Function::Sin => {
             let mut fact = 1.0;
-            for k in 0..terms {
+            for (k, ck) in c.iter_mut().enumerate().take(terms) {
                 if k > 0 {
                     fact *= k as f64;
                 }
                 if k % 2 == 1 {
-                    c[k] = if (k / 2) % 2 == 0 { 1.0 } else { -1.0 } / fact;
+                    *ck = if (k / 2) % 2 == 0 { 1.0 } else { -1.0 } / fact;
                 }
             }
         }
         Function::Cos => {
             let mut fact = 1.0;
-            for k in 0..terms {
+            for (k, ck) in c.iter_mut().enumerate().take(terms) {
                 if k > 0 {
                     fact *= k as f64;
                 }
                 if k % 2 == 0 {
-                    c[k] = if (k / 2) % 2 == 0 { 1.0 } else { -1.0 } / fact;
+                    *ck = if (k / 2) % 2 == 0 { 1.0 } else { -1.0 } / fact;
                 }
             }
         }
@@ -170,8 +170,10 @@ pub fn chebyshev_monomial(f: Function, a: f64, b: f64, degree: usize) -> Vec<f64
     let nodes: Vec<f64> = (0..n)
         .map(|k| (std::f64::consts::PI * (k as f64 + 0.5) / n as f64).cos())
         .collect();
-    let samples: Vec<f64> =
-        nodes.iter().map(|&t| f.eval(0.5 * (b - a) * t + 0.5 * (b + a))).collect();
+    let samples: Vec<f64> = nodes
+        .iter()
+        .map(|&t| f.eval(0.5 * (b - a) * t + 0.5 * (b + a)))
+        .collect();
     for (j, cj) in cheb.iter_mut().enumerate() {
         let mut s = 0.0;
         for (k, &fk) in samples.iter().enumerate() {

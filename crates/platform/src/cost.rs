@@ -13,9 +13,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Classes of dynamic operations the cost model distinguishes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum InstructionClass {
     /// Integer add/sub/logical/shift (single cycle).
     IntAlu,
@@ -201,9 +199,7 @@ impl OpCounts {
     }
 
     /// Iterates over `(region, accesses)` pairs.
-    pub fn memory_iter(
-        &self,
-    ) -> impl Iterator<Item = (crate::memory::MemoryRegion, u64)> + '_ {
+    pub fn memory_iter(&self) -> impl Iterator<Item = (crate::memory::MemoryRegion, u64)> + '_ {
         self.loads_by_region.iter().map(|(&r, &n)| (r, n))
     }
 
@@ -264,9 +260,17 @@ mod tests {
     #[test]
     fn sa1110_penalizes_software_float() {
         let m = CostModel::sa1110();
-        assert!(m.cycles_for(InstructionClass::FloatMulSoft) > 30 * m.cycles_for(InstructionClass::IntMul));
-        assert!(m.cycles_for(InstructionClass::FloatDivSoft) > m.cycles_for(InstructionClass::FloatMulSoft));
-        assert!(m.cycles_for(InstructionClass::LibmCall) > m.cycles_for(InstructionClass::FloatDivSoft));
+        assert!(
+            m.cycles_for(InstructionClass::FloatMulSoft)
+                > 30 * m.cycles_for(InstructionClass::IntMul)
+        );
+        assert!(
+            m.cycles_for(InstructionClass::FloatDivSoft)
+                > m.cycles_for(InstructionClass::FloatMulSoft)
+        );
+        assert!(
+            m.cycles_for(InstructionClass::LibmCall) > m.cycles_for(InstructionClass::FloatDivSoft)
+        );
     }
 
     #[test]
@@ -320,7 +324,10 @@ mod tests {
         let mut ops = OpCounts::new();
         ops.add(InstructionClass::IntAlu, 100);
         ops.add(InstructionClass::FloatMulSoft, 10);
-        assert_eq!(m.cycles(&ops), 100 + 10 * m.cycles_for(InstructionClass::FloatMulSoft));
+        assert_eq!(
+            m.cycles(&ops),
+            100 + 10 * m.cycles_for(InstructionClass::FloatMulSoft)
+        );
     }
 
     #[test]

@@ -40,17 +40,50 @@ impl DvfsTable {
     pub fn sa1110() -> Self {
         DvfsTable {
             points: vec![
-                OperatingPoint { frequency_mhz: 59.0, voltage_v: 0.90 },
-                OperatingPoint { frequency_mhz: 73.7, voltage_v: 0.95 },
-                OperatingPoint { frequency_mhz: 88.5, voltage_v: 1.00 },
-                OperatingPoint { frequency_mhz: 103.2, voltage_v: 1.05 },
-                OperatingPoint { frequency_mhz: 118.0, voltage_v: 1.10 },
-                OperatingPoint { frequency_mhz: 132.7, voltage_v: 1.15 },
-                OperatingPoint { frequency_mhz: 147.5, voltage_v: 1.20 },
-                OperatingPoint { frequency_mhz: 162.2, voltage_v: 1.25 },
-                OperatingPoint { frequency_mhz: 176.9, voltage_v: 1.35 },
-                OperatingPoint { frequency_mhz: 191.7, voltage_v: 1.45 },
-                OperatingPoint { frequency_mhz: 206.4, voltage_v: 1.55 },
+                OperatingPoint {
+                    frequency_mhz: 59.0,
+                    voltage_v: 0.90,
+                },
+                OperatingPoint {
+                    frequency_mhz: 73.7,
+                    voltage_v: 0.95,
+                },
+                OperatingPoint {
+                    frequency_mhz: 88.5,
+                    voltage_v: 1.00,
+                },
+                OperatingPoint {
+                    frequency_mhz: 103.2,
+                    voltage_v: 1.05,
+                },
+                OperatingPoint {
+                    frequency_mhz: 118.0,
+                    voltage_v: 1.10,
+                },
+                OperatingPoint {
+                    frequency_mhz: 132.7,
+                    voltage_v: 1.15,
+                },
+                OperatingPoint {
+                    frequency_mhz: 147.5,
+                    voltage_v: 1.20,
+                },
+                OperatingPoint {
+                    frequency_mhz: 162.2,
+                    voltage_v: 1.25,
+                },
+                OperatingPoint {
+                    frequency_mhz: 176.9,
+                    voltage_v: 1.35,
+                },
+                OperatingPoint {
+                    frequency_mhz: 191.7,
+                    voltage_v: 1.45,
+                },
+                OperatingPoint {
+                    frequency_mhz: 206.4,
+                    voltage_v: 1.55,
+                },
             ],
         }
     }
@@ -121,7 +154,10 @@ mod tests {
 
     #[test]
     fn seconds_for_cycles() {
-        let p = OperatingPoint { frequency_mhz: 100.0, voltage_v: 1.0 };
+        let p = OperatingPoint {
+            frequency_mhz: 100.0,
+            voltage_v: 1.0,
+        };
         assert!((p.seconds_for(100_000_000) - 1.0).abs() < 1e-12);
     }
 
@@ -152,8 +188,14 @@ mod tests {
 
     #[test]
     fn energy_ratio_is_quadratic_in_voltage() {
-        let a = OperatingPoint { frequency_mhz: 59.0, voltage_v: 0.9 };
-        let b = OperatingPoint { frequency_mhz: 206.4, voltage_v: 1.8 };
+        let a = OperatingPoint {
+            frequency_mhz: 59.0,
+            voltage_v: 0.9,
+        };
+        let b = OperatingPoint {
+            frequency_mhz: 206.4,
+            voltage_v: 1.8,
+        };
         assert!((a.energy_per_cycle_ratio(&b) - 0.25).abs() < 1e-12);
     }
 }

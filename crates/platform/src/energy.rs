@@ -31,7 +31,10 @@ impl EnergyModel {
     pub fn badge4() -> Self {
         EnergyModel {
             core_power_mw_at_ref: 400.0,
-            reference: OperatingPoint { frequency_mhz: 206.4, voltage_v: 1.55 },
+            reference: OperatingPoint {
+                frequency_mhz: 206.4,
+                voltage_v: 1.55,
+            },
             static_power_mw: 40.0,
         }
     }

@@ -33,6 +33,8 @@
 //! assert!(cost.cycles > 50_000);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod cost;
 pub mod dvfs;
 pub mod energy;

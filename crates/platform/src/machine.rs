@@ -21,7 +21,11 @@ pub struct ExecutionCost {
 impl ExecutionCost {
     /// A zero-cost execution (used as the identity when accumulating).
     pub fn zero() -> Self {
-        ExecutionCost { cycles: 0, seconds: 0.0, energy_j: 0.0 }
+        ExecutionCost {
+            cycles: 0,
+            seconds: 0.0,
+            energy_j: 0.0,
+        }
     }
 
     /// Component-wise sum.
@@ -119,8 +123,14 @@ impl Badge4 {
             cycles += self.memory.access_cycles(region, n);
         }
         let seconds = self.operating_point.seconds_for(cycles);
-        let energy_j = self.energy.energy_j(cycles, ops, &self.memory, &self.operating_point);
-        ExecutionCost { cycles, seconds, energy_j }
+        let energy_j = self
+            .energy
+            .energy_j(cycles, ops, &self.memory, &self.operating_point);
+        ExecutionCost {
+            cycles,
+            seconds,
+            energy_j,
+        }
     }
 
     /// A textual description of the board (the reproduction of Figure 1's
@@ -190,8 +200,16 @@ mod tests {
 
     #[test]
     fn execution_cost_arithmetic() {
-        let a = ExecutionCost { cycles: 10, seconds: 1.0, energy_j: 0.5 };
-        let b = ExecutionCost { cycles: 5, seconds: 0.5, energy_j: 0.25 };
+        let a = ExecutionCost {
+            cycles: 10,
+            seconds: 1.0,
+            energy_j: 0.5,
+        };
+        let b = ExecutionCost {
+            cycles: 5,
+            seconds: 0.5,
+            energy_j: 0.25,
+        };
         let s = a.add(&b);
         assert_eq!(s.cycles, 15);
         assert!((s.energy_j - 0.75).abs() < 1e-12);
@@ -205,14 +223,18 @@ mod tests {
         let mut ops = OpCounts::new();
         ops.add(InstructionClass::FloatMulSoft, 10_000);
         let soft = Badge4::new().cost_of(&ops);
-        let hard = Badge4::new().with_cost_model(CostModel::with_hardware_fpu()).cost_of(&ops);
+        let hard = Badge4::new()
+            .with_cost_model(CostModel::with_hardware_fpu())
+            .cost_of(&ops);
         assert!(soft.cycles > 10 * hard.cycles);
     }
 
     #[test]
     fn describe_mentions_all_components() {
         let d = Badge4::new().describe();
-        for needle in ["SA-1110", "SA-1111", "SRAM", "SDRAM", "FLASH", "WLAN", "CODEC", "DC-DC", "Linux"] {
+        for needle in [
+            "SA-1110", "SA-1111", "SRAM", "SDRAM", "FLASH", "WLAN", "CODEC", "DC-DC", "Linux",
+        ] {
             assert!(d.contains(needle), "description missing {needle}: {d}");
         }
     }

@@ -10,9 +10,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// A memory region of the Badge4 board.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MemoryRegion {
     /// On-board SRAM: fast, small, holds the OS core and hot tables.
     Sram,
@@ -61,9 +59,21 @@ impl MemoryModel {
     /// Badge4 defaults: 1 MiB SRAM, 32 MiB SDRAM, 32 MiB FLASH.
     pub fn badge4() -> Self {
         MemoryModel {
-            sram: RegionParams { access_cycles: 1, energy_nj: 0.6, capacity_kib: 1024 },
-            sdram: RegionParams { access_cycles: 6, energy_nj: 2.4, capacity_kib: 32 * 1024 },
-            flash: RegionParams { access_cycles: 18, energy_nj: 4.0, capacity_kib: 32 * 1024 },
+            sram: RegionParams {
+                access_cycles: 1,
+                energy_nj: 0.6,
+                capacity_kib: 1024,
+            },
+            sdram: RegionParams {
+                access_cycles: 6,
+                energy_nj: 2.4,
+                capacity_kib: 32 * 1024,
+            },
+            flash: RegionParams {
+                access_cycles: 18,
+                energy_nj: 4.0,
+                capacity_kib: 32 * 1024,
+            },
         }
     }
 
@@ -100,8 +110,14 @@ mod tests {
     #[test]
     fn badge4_latency_ordering() {
         let m = MemoryModel::badge4();
-        assert!(m.params(MemoryRegion::Sram).access_cycles < m.params(MemoryRegion::Sdram).access_cycles);
-        assert!(m.params(MemoryRegion::Sdram).access_cycles < m.params(MemoryRegion::Flash).access_cycles);
+        assert!(
+            m.params(MemoryRegion::Sram).access_cycles
+                < m.params(MemoryRegion::Sdram).access_cycles
+        );
+        assert!(
+            m.params(MemoryRegion::Sdram).access_cycles
+                < m.params(MemoryRegion::Flash).access_cycles
+        );
     }
 
     #[test]
@@ -119,7 +135,8 @@ mod tests {
             10 * m.params(MemoryRegion::Sdram).access_cycles
         );
         assert!(
-            (m.access_energy_nj(MemoryRegion::Sram, 100) - 100.0 * m.params(MemoryRegion::Sram).energy_nj)
+            (m.access_energy_nj(MemoryRegion::Sram, 100)
+                - 100.0 * m.params(MemoryRegion::Sram).energy_nj)
                 .abs()
                 < 1e-9
         );

@@ -80,9 +80,15 @@ impl Profile {
     pub fn render(&self, title: &str) -> String {
         let mut s = String::new();
         s.push_str(&format!("{title}\n"));
-        s.push_str(&format!("{:<32} {:>14} {:>8}\n", "Function name", "Exec time (s)", "%"));
+        s.push_str(&format!(
+            "{:<32} {:>14} {:>8}\n",
+            "Function name", "Exec time (s)", "%"
+        ));
         for e in &self.entries {
-            s.push_str(&format!("{:<32} {:>14.6} {:>8.2}\n", e.function, e.seconds, e.percent));
+            s.push_str(&format!(
+                "{:<32} {:>14.6} {:>8.2}\n",
+                e.function, e.seconds, e.percent
+            ));
         }
         s.push_str(&format!(
             "{:<32} {:>14.6} {:>8.2}\n",
@@ -129,8 +135,10 @@ impl Profiler {
     /// Builds the profile by costing every function's operations on `badge`.
     pub fn profile(&self, badge: &Badge4) -> Profile {
         let map = self.per_function.lock();
-        let costs: Vec<(String, ExecutionCost)> =
-            map.iter().map(|(f, ops)| (f.clone(), badge.cost_of(ops))).collect();
+        let costs: Vec<(String, ExecutionCost)> = map
+            .iter()
+            .map(|(f, ops)| (f.clone(), badge.cost_of(ops)))
+            .collect();
         let total: f64 = costs.iter().map(|(_, c)| c.seconds).sum();
         let mut entries: Vec<ProfileEntry> = costs
             .into_iter()
@@ -139,7 +147,11 @@ impl Profiler {
                 seconds: c.seconds,
                 energy_j: c.energy_j,
                 cycles: c.cycles,
-                percent: if total > 0.0 { 100.0 * c.seconds / total } else { 0.0 },
+                percent: if total > 0.0 {
+                    100.0 * c.seconds / total
+                } else {
+                    0.0
+                },
             })
             .collect();
         entries.sort_by(|a, b| b.seconds.partial_cmp(&a.seconds).expect("finite times"));
@@ -165,7 +177,11 @@ mod tests {
         profiler.record("expensive", &ops(InstructionClass::FloatMulSoft, 10_000));
         profiler.record("middle", &ops(InstructionClass::IntMul, 50_000));
         let profile = profiler.profile(&Badge4::new());
-        let names: Vec<&str> = profile.entries().iter().map(|e| e.function.as_str()).collect();
+        let names: Vec<&str> = profile
+            .entries()
+            .iter()
+            .map(|e| e.function.as_str())
+            .collect();
         assert_eq!(names[0], "expensive");
         assert_eq!(*names.last().unwrap(), "cheap");
         let pct_sum: f64 = profile.entries().iter().map(|e| e.percent).sum();
@@ -208,8 +224,14 @@ mod tests {
     #[test]
     fn render_contains_every_function_and_total() {
         let profiler = Profiler::new();
-        profiler.record("III_dequantize_sample", &ops(InstructionClass::LibmCall, 500));
-        profiler.record("SubBandSynthesis", &ops(InstructionClass::FloatMulSoft, 2_000));
+        profiler.record(
+            "III_dequantize_sample",
+            &ops(InstructionClass::LibmCall, 500),
+        );
+        profiler.record(
+            "SubBandSynthesis",
+            &ops(InstructionClass::FloatMulSoft, 2_000),
+        );
         let profile = profiler.profile(&Badge4::new());
         let rendered = profile.render("Original MP3 Profile");
         assert!(rendered.contains("III_dequantize_sample"));

@@ -22,7 +22,10 @@ fn main() {
     let cycles_per_frame = profiler.profile(&badge).total_cycles();
 
     println!("optimized decoder: {cycles_per_frame} cycles per frame, deadline {deadline:.4} s");
-    println!("\n{:<12} {:>10} {:>14} {:>16}", "freq (MHz)", "V", "frame time (s)", "meets deadline");
+    println!(
+        "\n{:<12} {:>10} {:>14} {:>16}",
+        "freq (MHz)", "V", "frame time (s)", "meets deadline"
+    );
     for point in badge.dvfs().points() {
         let t = point.seconds_for(cycles_per_frame);
         println!(
@@ -35,7 +38,9 @@ fn main() {
     }
 
     let headroom = deadline / badge.dvfs().max().seconds_for(cycles_per_frame);
-    let saving = badge.dvfs().energy_saving_factor(cycles_per_frame, deadline);
+    let saving = badge
+        .dvfs()
+        .energy_saving_factor(cycles_per_frame, deadline);
     println!("\nheadroom at max frequency: {headroom:.1}x faster than real time");
     println!("energy saving from scaling to the slowest feasible point: {saving:.2}x");
     assert!(headroom > 1.0, "the optimized decoder must beat real time");

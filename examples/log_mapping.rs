@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A loose accuracy requirement lets the cheap bit-manipulation version win.
     let loose = Mapper::new(
         &library,
-        MapperConfig { accuracy_tolerance: 1e-2, ..MapperConfig::default() },
+        MapperConfig {
+            accuracy_tolerance: 1e-2,
+            ..MapperConfig::default()
+        },
     )
     .map_polynomial(&target)?;
     println!("loose accuracy (1e-2): picked {:?}", loose.element_names());
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A tight requirement forces a more accurate (and more expensive) version.
     let tight = Mapper::new(
         &library,
-        MapperConfig { accuracy_tolerance: 1e-4, ..MapperConfig::default() },
+        MapperConfig {
+            accuracy_tolerance: 1e-4,
+            ..MapperConfig::default()
+        },
     )
     .map_polynomial(&target)?;
     println!("tight accuracy (1e-4): picked {:?}", tight.element_names());

@@ -25,8 +25,14 @@ fn main() {
     let original = pipeline.measure("Original", KernelSet::reference());
     let optimized = pipeline.run("IH + IPP SubBand & IMDCT");
 
-    println!("{}", report::render_profile("Original per-frame profile", &original));
-    println!("{}", report::render_profile("Optimized per-frame profile", &optimized));
+    println!(
+        "{}",
+        report::render_profile("Original per-frame profile", &original)
+    );
+    println!(
+        "{}",
+        report::render_profile("Optimized per-frame profile", &optimized)
+    );
 
     println!("mapping decisions:");
     for line in &optimized.mapping_summary {
@@ -50,6 +56,12 @@ fn main() {
     );
     println!("\n{}", report::render_dvfs(&optimized, frames, &badge));
 
-    assert!(perf > 50.0, "the mapped decoder should be far faster than the original");
-    assert!(optimized.compliance.is_sufficient(), "the mapped decoder must stay compliant");
+    assert!(
+        perf > 50.0,
+        "the mapped decoder should be far faster than the original"
+    );
+    assert!(
+        optimized.compliance.is_sufficient(),
+        "the mapped decoder must stay compliant"
+    );
 }

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("target    : {target}");
     println!("rewritten : {}", solution.rewritten);
     println!("elements  : {:?}", solution.element_names());
-    println!("cost      : {} cycles, {:.1} nJ", solution.cost.cycles, solution.cost.energy_nj);
+    println!(
+        "cost      : {} cycles, {:.1} nJ",
+        solution.cost.cycles, solution.cost.energy_nj
+    );
     println!("verified  : {}", solution.verify());
     assert!(solution.verify(), "mapping must be functionally equivalent");
     assert!(solution.uses_element("vector_sum"));

@@ -49,6 +49,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use symmap_algebra as algebra;
 pub use symmap_core as core;
 pub use symmap_ir as ir;

@@ -40,7 +40,11 @@ fn methodology_reproduces_the_paper_shape() {
             pair[0].name
         );
     }
-    assert!(ih.perf_factor_vs(original) > 30.0, "IH factor {}", ih.perf_factor_vs(original));
+    assert!(
+        ih.perf_factor_vs(original) > 30.0,
+        "IH factor {}",
+        ih.perf_factor_vs(original)
+    );
     assert!(best.perf_factor_vs(original) > 1.5 * ih.perf_factor_vs(original));
     assert!(best.energy_factor_vs(original) > 30.0);
     for v in &versions[1..] {
@@ -49,7 +53,13 @@ fn methodology_reproduces_the_paper_shape() {
 
     // Shape of Table 3: the original profile is dominated by dequantization,
     // subband synthesis and the IMDCT, in that order.
-    let pct = |name: &str| original.frame_profile.entry(name).map(|e| e.percent).unwrap_or(0.0);
+    let pct = |name: &str| {
+        original
+            .frame_profile
+            .entry(name)
+            .map(|e| e.percent)
+            .unwrap_or(0.0)
+    };
     assert!(pct("III_dequantize_sample") > pct("SubBandSynthesis"));
     assert!(pct("SubBandSynthesis") > pct("inv_mdctL"));
     assert!(
@@ -62,7 +72,10 @@ fn methodology_reproduces_the_paper_shape() {
     // still the largest single entry of the optimized profile.
     assert_eq!(best.kernels.synthesis, KernelVariant::Ipp);
     assert_eq!(best.kernels.imdct, KernelVariant::Ipp);
-    assert!(best.frame_profile.entry("ippsSynthPQMF_MP3_32s16s").is_some());
+    assert!(best
+        .frame_profile
+        .entry("ippsSynthPQMF_MP3_32s16s")
+        .is_some());
 
     // The optimized decoder beats real time, enabling DVFS energy savings.
     assert!(best.real_time_headroom(frames) > 1.0);
@@ -73,12 +86,15 @@ fn methodology_reproduces_the_paper_shape() {
 #[test]
 fn mapping_solutions_are_verified_rewrites() {
     let badge = Badge4::new();
-    let pipeline =
-        OptimizationPipeline::new(badge.clone(), catalog::full_catalog(&badge)).with_stream_frames(1);
+    let pipeline = OptimizationPipeline::new(badge.clone(), catalog::full_catalog(&badge))
+        .with_stream_frames(1);
     let (kernels, solutions) = pipeline.map_decoder();
     assert!(!solutions.is_empty());
     for (function, solution) in &solutions {
-        assert!(solution.verify(), "mapping of {function} is not an equivalent rewrite");
+        assert!(
+            solution.verify(),
+            "mapping of {function} is not an equivalent rewrite"
+        );
         assert!(
             solution.is_accurate_within(1e-3),
             "mapping of {function} exceeds the accuracy budget"

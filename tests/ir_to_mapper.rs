@@ -1,12 +1,12 @@
 //! Integration test: from algorithmic-level source code, through the IR
 //! transformations and polynomial extraction, into the symbolic mapper.
 
+use symmap::algebra::poly::Poly;
 use symmap::core::decompose::{Mapper, MapperConfig};
 use symmap::ir::ast::Function;
 use symmap::ir::polyextract::extract_polynomial;
 use symmap::ir::transform::normalize;
 use symmap::libchar::{Library, LibraryElement};
-use symmap::algebra::poly::Poly;
 
 fn mac_library(taps: usize) -> Library {
     let mut lib = Library::new("dsp");
@@ -56,8 +56,9 @@ fn unrolled_fir_kernel_maps_onto_the_dot_product_element() {
     // … which the mapper covers with the complex dot-product element rather
     // than a chain of single MACs.
     let library = mac_library(4);
-    let solution =
-        Mapper::new(&library, MapperConfig::default()).map_polynomial(&poly).unwrap();
+    let solution = Mapper::new(&library, MapperConfig::default())
+        .map_polynomial(&poly)
+        .unwrap();
     assert!(solution.uses_element("fir_dot"));
     assert!(solution.is_complete());
     assert!(solution.verify());
@@ -86,7 +87,9 @@ fn nonlinear_kernel_is_series_expanded_then_mapped() {
             .build()
             .unwrap(),
     );
-    let solution = Mapper::new(&lib, MapperConfig::default()).map_polynomial(&poly).unwrap();
+    let solution = Mapper::new(&lib, MapperConfig::default())
+        .map_polynomial(&poly)
+        .unwrap();
     assert!(solution.uses_element("exp_table"));
     assert!(solution.verify());
 }

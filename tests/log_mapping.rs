@@ -16,13 +16,19 @@ fn accuracy_requirement_drives_the_choice_of_log_implementation() {
 
     let loose = Mapper::new(
         &library,
-        MapperConfig { accuracy_tolerance: 1e-2, ..MapperConfig::default() },
+        MapperConfig {
+            accuracy_tolerance: 1e-2,
+            ..MapperConfig::default()
+        },
     )
     .map_polynomial(&target)
     .unwrap();
     let tight = Mapper::new(
         &library,
-        MapperConfig { accuracy_tolerance: 1e-4, ..MapperConfig::default() },
+        MapperConfig {
+            accuracy_tolerance: 1e-4,
+            ..MapperConfig::default()
+        },
     )
     .map_polynomial(&target)
     .unwrap();

@@ -20,8 +20,14 @@ fn maple_factor_example() {
     let p = Poly::parse("x^16 + x^17 + x^2").unwrap();
     let f = factor(&p);
     assert_eq!(f.expand(), p);
-    assert!(f.factors.iter().any(|(q, m)| *q == Poly::parse("x").unwrap() && *m == 2));
-    assert!(f.factors.iter().any(|(q, _)| *q == Poly::parse("x^14 + x^15 + 1").unwrap()));
+    assert!(f
+        .factors
+        .iter()
+        .any(|(q, m)| *q == Poly::parse("x").unwrap() && *m == 2));
+    assert!(f
+        .factors
+        .iter()
+        .any(|(q, _)| *q == Poly::parse("x^14 + x^15 + 1").unwrap()));
 }
 
 #[test]
@@ -32,7 +38,11 @@ fn maple_horner_example() {
     let h = horner_form(&s, &[Var::new("x"), Var::new("y")]);
     // Lossless and with the Maple operation count (3 multiplications).
     assert_eq!(h.expand(), s);
-    assert!(h.mul_count() <= 3, "horner form {h} uses {} muls", h.mul_count());
+    assert!(
+        h.mul_count() <= 3,
+        "horner form {h} uses {} muls",
+        h.mul_count()
+    );
     // The rendered form parses back to the same polynomial.
     assert_eq!(Poly::parse(&h.to_string()).unwrap(), s);
 }

@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! subset of the criterion 0.5 API the `symmap-bench` harnesses use —
+//! [`Criterion`] with `sample_size` / `warm_up_time` / `measurement_time`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — as a plain wall-clock runner.
+//!
+//! It is *not* a statistics engine: each `bench_function` warms up for the
+//! configured warm-up time, then takes `sample_size` timed samples and prints
+//! min / mean / max ns-per-iteration. That is enough for `cargo bench` to
+//! compile, run and produce comparable numbers; swapping in the real
+//! criterion later requires no changes to the bench sources.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export point mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark driver mirroring the used subset of `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget the samples aim to fill.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then `sample_size` timed samples.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up phase: run the routine untimed until the budget elapses.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        while Instant::now() < warm_up_end {
+            bencher.reset();
+            f(&mut bencher);
+            if bencher.iterations == 0 {
+                break; // routine never called iter(); nothing to warm up
+            }
+        }
+
+        // Measurement phase: spread the time budget across the samples.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let sample_end = Instant::now() + per_sample;
+            bencher.reset();
+            loop {
+                f(&mut bencher);
+                if bencher.iterations == 0 || Instant::now() >= sample_end {
+                    break;
+                }
+            }
+            if bencher.iterations > 0 {
+                per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
+            }
+        }
+
+        if per_iter_ns.is_empty() {
+            println!("{id:<48} (no iterations)");
+        } else {
+            let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = per_iter_ns.iter().cloned().fold(0.0_f64, f64::max);
+            let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+            println!(
+                "{id:<48} time: [{} {} {}]",
+                format_ns(min),
+                format_ns(mean),
+                format_ns(max)
+            );
+        }
+        self
+    }
+
+    /// Accepted for compatibility with `criterion_main!`-style drivers.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn reset(&mut self) {
+        self.elapsed = Duration::ZERO;
+        self.iterations = 0;
+    }
+
+    /// Times repeated calls of `routine`, preventing the result from being
+    /// optimized away.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions and a
+/// configuration into a single named group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: expands to `fn main` running groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut calls = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

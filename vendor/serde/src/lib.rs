@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds in an environment with no crates.io access, and no
+//! code path actually serializes anything — the derives on data types mark
+//! them as wire-friendly for a future real-serde swap. This shim provides the
+//! two trait names plus the (empty-expansion) derive macros so that
+//! `use serde::{Deserialize, Serialize};` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged.
+//!
+//! The traits are implemented for every `Sized` type via blanket impls, so
+//! generic bounds like `T: Serialize` also keep working.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
