@@ -33,6 +33,36 @@ impl Division {
     }
 }
 
+/// A nonzero divisor with its leading term resolved **once** under a fixed
+/// order, plus a variable-support fingerprint of the leading monomial.
+///
+/// `leading_monomial` is a full term scan; the division loop and Buchberger's
+/// pair bookkeeping consult a divisor's leading term for every term of every
+/// dividend, so the Gröbner engine stores its basis as prepared divisors and
+/// never rescans. The `mask` (see [`Monomial::var_mask`]) rejects most
+/// non-dividing divisors with one AND before the exact divisibility test.
+#[derive(Debug, Clone)]
+pub struct PreparedDivisor {
+    /// The divisor polynomial (nonzero).
+    pub poly: Poly,
+    /// Cached leading monomial of `poly` under the preparation order.
+    pub lm: Monomial,
+    /// Cached leading coefficient of `poly`.
+    pub lc: Rational,
+    /// Variable-support fingerprint of `lm`.
+    pub mask: u64,
+}
+
+impl PreparedDivisor {
+    /// Prepares `poly` for repeated division under `order`; `None` when the
+    /// polynomial is zero (a zero divisor is always skipped anyway).
+    pub fn new(poly: Poly, order: &MonomialOrder) -> Option<Self> {
+        let (lm, lc) = poly.leading_term(order)?;
+        let mask = lm.var_mask();
+        Some(PreparedDivisor { poly, lm, lc, mask })
+    }
+}
+
 /// Divides `f` by the list of `divisors` under the given monomial `order`.
 ///
 /// Zero divisors are skipped (their quotient stays zero). The classic
@@ -45,17 +75,28 @@ pub fn divide(f: &Poly, divisors: &[Poly], order: &MonomialOrder) -> Division {
     let mut remainder = Poly::zero();
     let mut p = f.clone();
 
-    let leading: Vec<Option<(Monomial, Rational)>> =
-        divisors.iter().map(|g| g.leading_term(order)).collect();
+    let leading: Vec<Option<(Monomial, Rational, u64)>> = divisors
+        .iter()
+        .map(|g| {
+            g.leading_term(order)
+                .map(|(m, c)| (m.clone(), c, m.var_mask()))
+        })
+        .collect();
 
     while let Some((lm_p, lc_p)) = p.leading_term(order) {
+        let t_mask = lm_p.var_mask();
         let mut divided = false;
         for (i, lt) in leading.iter().enumerate() {
-            let Some((lm_g, lc_g)) = lt else { continue };
+            let Some((lm_g, lc_g, mask_g)) = lt else {
+                continue;
+            };
+            if mask_g & !t_mask != 0 {
+                continue;
+            }
             if let Some(m_quot) = lm_p.div(lm_g) {
                 let c_quot = &lc_p / lc_g;
                 quotients[i].add_term(&m_quot, &c_quot);
-                p = p.sub(&divisors[i].mul_term(&m_quot, &c_quot));
+                p.sub_scaled(&divisors[i], &m_quot, &c_quot);
                 divided = true;
                 break;
             }
@@ -73,8 +114,50 @@ pub fn divide(f: &Poly, divisors: &[Poly], order: &MonomialOrder) -> Division {
 
 /// Returns only the remainder of [`divide`] — the *normal form* of `f` modulo
 /// the divisor set.
+///
+/// Borrows the divisors and resolves only their leading terms up front; use
+/// [`prepared_normal_form`] when the same divisor set is reduced against
+/// repeatedly (the Gröbner engine stores its basis pre-prepared).
 pub fn normal_form(f: &Poly, divisors: &[Poly], order: &MonomialOrder) -> Poly {
     divide(f, divisors, order).remainder
+}
+
+/// Normal form of `f` modulo already-prepared divisors — the Gröbner engine's
+/// hot path. `skip` excludes one divisor by index (used by auto-reduction to
+/// reduce a basis element modulo *the others* without cloning the rest of the
+/// basis).
+///
+/// Chooses the same divisor at every step as [`divide`] (the mask check only
+/// skips divisors whose leading monomial provably cannot divide the current
+/// term), so the remainder is byte-identical to `divide(..).remainder`.
+pub fn prepared_normal_form(
+    f: &Poly,
+    divisors: &[PreparedDivisor],
+    order: &MonomialOrder,
+    skip: Option<usize>,
+) -> Poly {
+    let mut remainder = Poly::zero();
+    let mut p = f.clone();
+    while let Some((lm_p, lc_p)) = p.leading_term(order) {
+        let t_mask = lm_p.var_mask();
+        let mut divided = false;
+        for (i, d) in divisors.iter().enumerate() {
+            if skip == Some(i) || d.mask & !t_mask != 0 {
+                continue;
+            }
+            if let Some(m_quot) = lm_p.div(&d.lm) {
+                let c_quot = &lc_p / &d.lc;
+                p.sub_scaled(&d.poly, &m_quot, &c_quot);
+                divided = true;
+                break;
+            }
+        }
+        if !divided {
+            remainder.add_term(&lm_p, &lc_p);
+            p.add_term(&lm_p, &-lc_p);
+        }
+    }
+    remainder
 }
 
 /// Returns `true` when `f` reduces to zero modulo the divisors, i.e. `f` lies
@@ -181,6 +264,46 @@ mod tests {
         let d = divide(&Poly::zero(), &[p("x - 1")], &order);
         assert!(d.remainder.is_zero());
         assert!(d.quotients[0].is_zero());
+    }
+
+    #[test]
+    fn prepared_normal_form_matches_divide_remainder() {
+        let order = MonomialOrder::grlex(&["x", "y"]);
+        let divisors = [p("x^2 - y"), Poly::zero(), p("x*y - 1")];
+        let f = p("x^3 + x^2*y^2 + y^3 + x + 1");
+        let prepared: Vec<PreparedDivisor> = divisors
+            .iter()
+            .filter_map(|g| PreparedDivisor::new(g.clone(), &order))
+            .collect();
+        assert_eq!(prepared.len(), 2, "zero divisors are dropped");
+        assert_eq!(
+            prepared_normal_form(&f, &prepared, &order, None),
+            divide(&f, &divisors, &order).remainder
+        );
+        assert_eq!(
+            normal_form(&f, &divisors, &order),
+            divide(&f, &divisors, &order).remainder
+        );
+    }
+
+    #[test]
+    fn prepared_normal_form_skip_excludes_one_divisor() {
+        let order = MonomialOrder::lex(&["x", "y"]);
+        let prepared: Vec<PreparedDivisor> = [p("x - y"), p("y^2 - 1")]
+            .into_iter()
+            .filter_map(|g| PreparedDivisor::new(g, &order))
+            .collect();
+        let f = p("x*y^2");
+        // Skipping the first divisor reduces only modulo y^2 - 1.
+        assert_eq!(
+            prepared_normal_form(&f, &prepared, &order, Some(0)),
+            normal_form(&f, &[p("y^2 - 1")], &order)
+        );
+        // No skip uses both.
+        assert_eq!(
+            prepared_normal_form(&f, &prepared, &order, None),
+            normal_form(&f, &[p("x - y"), p("y^2 - 1")], &order)
+        );
     }
 
     #[test]

@@ -140,6 +140,19 @@ impl Monomial {
         self.exps.keys().all(|v| other.degree_of(*v) == 0)
     }
 
+    /// A 64-bit fingerprint of the variable support: bit `index % 64` is set
+    /// for every variable with a non-zero exponent.
+    ///
+    /// If `self.divides(other)` then `self.var_mask() & !other.var_mask()`
+    /// is zero; the converse can fail on bit collisions, so the mask is a
+    /// cheap *necessary* condition used to prefilter divisibility tests in
+    /// the division hot path.
+    pub fn var_mask(&self) -> u64 {
+        self.exps
+            .keys()
+            .fold(0u64, |m, v| m | 1u64 << (v.index() % 64))
+    }
+
     /// Raises the monomial to a power.
     pub fn pow(&self, k: u32) -> Monomial {
         if k == 0 {
@@ -259,6 +272,17 @@ mod tests {
         let m = Monomial::from_pairs(&[(x(), 2), (y(), 1)]);
         assert_eq!(m.pow(3).degree_of(x()), 6);
         assert_eq!(m.pow(0), Monomial::one());
+    }
+
+    #[test]
+    fn var_mask_is_a_divisibility_prefilter() {
+        assert_eq!(Monomial::one().var_mask(), 0);
+        let a = Monomial::from_pairs(&[(x(), 1)]);
+        let b = Monomial::from_pairs(&[(x(), 2), (y(), 1)]);
+        // a | b, so a's mask bits are a subset of b's.
+        assert_eq!(a.var_mask() & !b.var_mask(), 0);
+        // Exponents do not affect the mask, only the support does.
+        assert_eq!(a.var_mask(), a.pow(5).var_mask());
     }
 
     proptest! {

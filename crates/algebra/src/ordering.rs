@@ -16,7 +16,7 @@ use crate::var::{Var, VarSet};
 /// The precedence list ranks variables from most significant to least
 /// significant, mirroring Maple's `[x, y, p]` ordering argument. Variables not
 /// in the list rank after all listed variables, ordered by interner index.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum MonomialOrder {
     /// Pure lexicographic order.
     Lex(VarSet),

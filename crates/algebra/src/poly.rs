@@ -199,6 +199,18 @@ impl Poly {
         out
     }
 
+    /// In-place `self -= g * (c * m)` — the cancellation step of multivariate
+    /// division, fused so no temporary polynomial is allocated (the naive
+    /// `self = self.sub(&g.mul_term(m, c))` builds two).
+    pub fn sub_scaled(&mut self, g: &Poly, m: &Monomial, c: &Rational) {
+        if c.is_zero() {
+            return;
+        }
+        for (mg, cg) in g.iter() {
+            self.add_term(&mg.mul(m), &-(cg * c));
+        }
+    }
+
     /// Polynomial subtraction.
     pub fn sub(&self, other: &Poly) -> Poly {
         let mut out = self.clone();
@@ -477,6 +489,20 @@ mod tests {
         let b = p("-x^2 + y");
         assert_eq!(a.add(&b), p("2*y"));
         assert_eq!(a.sub(&a), Poly::zero());
+    }
+
+    #[test]
+    fn sub_scaled_matches_sub_of_mul_term() {
+        let mut a = p("x^3 + x^2*y^2 + y^3");
+        let g = p("x*y - 1");
+        let m = Monomial::var(Var::new("x"), 1);
+        let c = Rational::new(3, 2);
+        a.sub_scaled(&g, &m, &c);
+        assert_eq!(a, p("x^3 + x^2*y^2 + y^3").sub(&g.mul_term(&m, &c)));
+        // A zero scale is a no-op.
+        let before = a.clone();
+        a.sub_scaled(&g, &m, &Rational::zero());
+        assert_eq!(a, before);
     }
 
     #[test]

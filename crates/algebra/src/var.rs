@@ -64,7 +64,7 @@ impl fmt::Display for Var {
 /// The order is significant: it defines variable precedence for lexicographic
 /// and elimination monomial orders (first = most significant), mirroring the
 /// variable-list argument of Maple's `simplify` and `convert(..., 'horner')`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct VarSet {
     vars: Vec<Var>,
 }

@@ -1,0 +1,222 @@
+//! The Gröbner hot-path engine bench: reduction counts and wall time of the
+//! heap pair queue, the Buchberger criteria and the mapper's basis
+//! memoization, on the workloads the mapping algorithm actually runs.
+//!
+//! Besides timing, this bench is a **deterministic regression guard**: the
+//! engine's reduction counts are exact (no wall clock involved), so the run
+//! fails — in CI via `SYMMAP_QUICK=1 cargo bench -p symmap-bench --bench
+//! groebner_engine` — whenever the twisted cubic or the mapper's
+//! side-relation ideal exceeds its fixed reduction budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symmap_algebra::groebner::{buchberger, GroebnerOptions};
+use symmap_algebra::ordering::MonomialOrder;
+use symmap_algebra::poly::Poly;
+use symmap_algebra::simplify::SideRelations;
+use symmap_core::decompose::{Mapper, MapperConfig};
+use symmap_libchar::{Library, LibraryElement};
+
+fn p(s: &str) -> Poly {
+    Poly::parse(s).unwrap()
+}
+
+/// The textbook twisted cubic `<x^2 - y, x^3 - z>` under lex.
+fn twisted_cubic() -> (&'static str, Vec<Poly>, MonomialOrder) {
+    (
+        "twisted-cubic",
+        vec![p("x^2 - y"), p("x^3 - z")],
+        MonomialOrder::lex(&["x", "y", "z"]),
+    )
+}
+
+/// The mapper's 4-relation side-relation ideal (sum/diff/prod/square library
+/// elements) — the elimination-style workload that made the seed engine's
+/// naive pair ordering hang in PR 1.
+fn mapper_side_relations() -> (&'static str, Vec<Poly>, MonomialOrder) {
+    let mut sr = SideRelations::new();
+    sr.push("s", p("x + y")).unwrap();
+    sr.push("d", p("x - y")).unwrap();
+    sr.push("q", p("x*y")).unwrap();
+    sr.push("sx", p("x^2")).unwrap();
+    (
+        "mapper-side-relations",
+        sr.generators(),
+        MonomialOrder::lex(&["x", "y", "s", "d", "q", "sx"]),
+    )
+}
+
+/// The circle/line/saddle system from the ordering ablation.
+fn circle_system() -> (&'static str, Vec<Poly>, MonomialOrder) {
+    (
+        "circle-system",
+        vec![p("x^2 + y^2 + z^2 - 1"), p("x*y - z"), p("x - y + z^2")],
+        MonomialOrder::grevlex(&["x", "y", "z"]),
+    )
+}
+
+/// Ablation grid: engine configurations whose reduction counts get printed.
+fn configurations() -> Vec<(&'static str, GroebnerOptions)> {
+    vec![
+        ("full", GroebnerOptions::default()),
+        (
+            "no-chain",
+            GroebnerOptions {
+                use_chain_criterion: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-coprime",
+            GroebnerOptions {
+                use_coprime_criterion: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-criteria",
+            GroebnerOptions {
+                use_coprime_criterion: false,
+                use_chain_criterion: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "sugar",
+            GroebnerOptions {
+                use_sugar_tiebreak: true,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// Fixed reduction budgets for the default engine configuration, set to the
+/// seed engine's deterministic counts (linear-scan queue + coprime criterion
+/// only): 7 on the twisted cubic, 11 on the mapper ideal. The rebuilt engine
+/// does 5 and 7; counts are exactly reproducible, so exceeding a budget is a
+/// real selection/criteria regression, not noise.
+const TWISTED_CUBIC_BUDGET: usize = 7;
+const MAPPER_IDEAL_BUDGET: usize = 11;
+
+fn element(name: &str, symbol: &str, poly: &str, cycles: u64) -> LibraryElement {
+    LibraryElement::builder(name, symbol)
+        .polynomial(p(poly))
+        .cycles(cycles)
+        .energy_nj(cycles as f64)
+        .accuracy(1e-9)
+        .build()
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var("SYMMAP_QUICK").is_ok();
+    let ideals = [twisted_cubic(), mapper_side_relations(), circle_system()];
+
+    println!("\ngroebner engine — S-polynomial reduction counts");
+    println!(
+        "{:<24} {:<12} {:>6} {:>10} {:>8} {:>7} {:>6}",
+        "ideal", "config", "basis", "reductions", "coprime", "chain", "done"
+    );
+    for (name, gens, order) in &ideals {
+        for (cfg_name, opts) in configurations() {
+            let gb = buchberger(gens, order, &opts);
+            println!(
+                "{name:<24} {cfg_name:<12} {:>6} {:>10} {:>8} {:>7} {:>6}",
+                gb.polys.len(),
+                gb.reductions,
+                gb.skipped_coprime,
+                gb.skipped_chain,
+                gb.complete
+            );
+            assert!(gb.complete, "{name}/{cfg_name} hit the iteration bound");
+        }
+    }
+
+    // The deterministic regression guard (this is what CI quick mode is for).
+    let (_, cubic_gens, cubic_order) = twisted_cubic();
+    let cubic = buchberger(&cubic_gens, &cubic_order, &GroebnerOptions::default());
+    assert!(
+        cubic.reductions <= TWISTED_CUBIC_BUDGET,
+        "twisted cubic exceeded its reduction budget: {} > {TWISTED_CUBIC_BUDGET}",
+        cubic.reductions
+    );
+    let (_, mapper_gens, mapper_order) = mapper_side_relations();
+    let mapper_gb = buchberger(&mapper_gens, &mapper_order, &GroebnerOptions::default());
+    assert!(
+        mapper_gb.reductions <= MAPPER_IDEAL_BUDGET,
+        "mapper side-relation ideal exceeded its reduction budget: {} > {MAPPER_IDEAL_BUDGET}",
+        mapper_gb.reductions
+    );
+    println!(
+        "reduction budgets ok: twisted-cubic {}/{TWISTED_CUBIC_BUDGET}, \
+         mapper-side-relations {}/{MAPPER_IDEAL_BUDGET}",
+        cubic.reductions, mapper_gb.reductions
+    );
+
+    // Mapper memoization: identical map_polynomial calls are answered from
+    // the basis cache (misses stay flat after the first call).
+    let mut lib = Library::new("bench");
+    lib.push(element("sum", "s", "x + y", 3));
+    lib.push(element("diff", "d", "x - y", 3));
+    lib.push(element("prod", "q", "x*y", 5));
+    lib.push(element("sq_x", "sx", "x^2", 4));
+    let mapper = Mapper::new(&lib, MapperConfig::default());
+    let target = p("x^4 - y^4 + x^2*y^2");
+    mapper.map_polynomial(&target).unwrap();
+    let (_, misses_cold) = mapper.cache_stats();
+    mapper.map_polynomial(&target).unwrap();
+    let (hits_warm, misses_warm) = mapper.cache_stats();
+    println!(
+        "mapper memoization: {misses_cold} bases computed cold, repeat run {} hits / {} new bases\n",
+        hits_warm,
+        misses_warm - misses_cold
+    );
+    assert_eq!(
+        misses_warm, misses_cold,
+        "a repeated mapping call recomputed a Gröbner basis"
+    );
+
+    if quick {
+        println!("SYMMAP_QUICK set: skipping wall-clock measurements\n");
+        return;
+    }
+
+    for (name, gens, order) in &ideals {
+        c.bench_function(&format!("groebner_engine/{name}/full"), |b| {
+            b.iter(|| buchberger(gens, order, &GroebnerOptions::default()))
+        });
+        c.bench_function(&format!("groebner_engine/{name}/no_criteria"), |b| {
+            b.iter(|| {
+                buchberger(
+                    gens,
+                    order,
+                    &GroebnerOptions {
+                        use_coprime_criterion: false,
+                        use_chain_criterion: false,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    c.bench_function("groebner_engine/mapper_memoized", |b| {
+        b.iter(|| mapper.map_polynomial(&target).unwrap())
+    });
+    c.bench_function("groebner_engine/mapper_cold_cache", |b| {
+        b.iter(|| {
+            Mapper::new(&lib, MapperConfig::default())
+                .map_polynomial(&target)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -10,10 +10,13 @@
 //! guide which elements are tried first — exactly the roles the paper assigns
 //! them.
 
+use std::rc::Rc;
+
 use symmap_algebra::factor::factor;
+use symmap_algebra::groebner::{GroebnerCache, GroebnerOptions};
 use symmap_algebra::horner::horner_form_auto;
 use symmap_algebra::poly::Poly;
-use symmap_algebra::simplify::{default_var_order, simplify_modulo, SideRelations};
+use symmap_algebra::simplify::{default_var_order, simplify_modulo_cached, SideRelations};
 use symmap_algebra::var::VarSet;
 use symmap_libchar::{Library, LibraryElement};
 
@@ -40,6 +43,9 @@ pub struct MapperConfig {
     /// Whether residual (unmapped) arithmetic runs in software floating point
     /// (true for the original double-precision code) or fixed point.
     pub float_residual: bool,
+    /// Options for the Gröbner-basis computations behind every candidate
+    /// pricing (iteration bound, Buchberger criteria, pair-queue tiebreak).
+    pub groebner: GroebnerOptions,
 }
 
 impl Default for MapperConfig {
@@ -51,31 +57,55 @@ impl Default for MapperConfig {
             use_bounding: true,
             use_guidance: true,
             float_residual: true,
+            groebner: GroebnerOptions::default(),
         }
     }
 }
 
 /// The library mapper.
+///
+/// Carries a [`GroebnerCache`] memoizing the basis of every side-relation
+/// set the search prices: the branch-and-bound explores subsets of library
+/// elements, and across targets (or repeated mapping calls) the same subset
+/// keeps reappearing — its basis is computed once and shared.
 #[derive(Debug, Clone)]
 pub struct Mapper {
     library: Library,
     config: MapperConfig,
     evaluator: CostEvaluator,
+    cache: Rc<GroebnerCache>,
 }
 
 impl Mapper {
-    /// Creates a mapper over a characterized library.
+    /// Creates a mapper over a characterized library with a fresh basis cache.
     pub fn new(library: &Library, config: MapperConfig) -> Self {
+        Mapper::with_shared_cache(library, config, Rc::new(GroebnerCache::new()))
+    }
+
+    /// Creates a mapper that shares `cache` with other owners (the
+    /// optimization pipeline uses this so every `map_decoder` call reuses
+    /// the bases of earlier runs).
+    pub fn with_shared_cache(
+        library: &Library,
+        config: MapperConfig,
+        cache: Rc<GroebnerCache>,
+    ) -> Self {
         Mapper {
             library: library.clone(),
             config,
             evaluator: CostEvaluator::new(),
+            cache,
         }
     }
 
     /// The mapper's configuration.
     pub fn config(&self) -> &MapperConfig {
         &self.config
+    }
+
+    /// `(hits, misses)` of the Gröbner-basis memoization layer.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        (self.cache.hits(), self.cache.misses())
     }
 
     /// Maps a target polynomial onto the library, returning the best solution
@@ -232,7 +262,14 @@ impl Mapper {
         }
         let order_names = default_var_order(target, &relations);
         let order_refs: Vec<&str> = order_names.iter().map(String::as_str).collect();
-        let rewritten = simplify_modulo(target, &relations, &order_refs)?;
+        let simplification = simplify_modulo_cached(
+            target,
+            &relations,
+            &order_refs,
+            &self.config.groebner,
+            &self.cache,
+        )?;
+        let rewritten = simplification.result;
 
         let symbols: VarSet = relations.symbols();
         let mut used_elements: Vec<(String, u32)> = Vec::new();
@@ -267,6 +304,7 @@ impl Mapper {
             cost,
             accuracy,
             nodes_explored: 0,
+            basis_complete: simplification.complete,
         })
     }
 }
@@ -411,6 +449,69 @@ mod tests {
         assert_eq!(full.cost.cycles, plain.cost.cycles);
         // Without pruning/guidance at least as many nodes are explored.
         assert!(plain.nodes_explored >= full.nodes_explored);
+    }
+
+    #[test]
+    fn memoization_reuses_bases_across_targets() {
+        let mut lib = Library::new("t");
+        lib.push(element("sum", "s", "x + y", 4, 1e-9));
+        lib.push(element("prod", "q", "x*y", 5, 1e-9));
+        let mapper = Mapper::new(&lib, MapperConfig::default());
+        mapper.map_polynomial(&p("x^2 + 2*x*y + y^2")).unwrap();
+        let (hits_first, misses_first) = mapper.cache_stats();
+        assert!(misses_first > 0);
+        // A second target over the same variables prices the same element
+        // subsets, so its side-relation bases come from the cache.
+        mapper
+            .map_polynomial(&p("x^2 + 2*x*y + y^2 + x*y"))
+            .unwrap();
+        let (hits_second, misses_second) = mapper.cache_stats();
+        assert!(
+            hits_second > hits_first,
+            "second target produced no cache hits ({hits_first} -> {hits_second})"
+        );
+        // Mapping the first target again is answered entirely from the cache
+        // (the deterministic search re-prices exactly the same subsets).
+        mapper.map_polynomial(&p("x^2 + 2*x*y + y^2")).unwrap();
+        assert_eq!(mapper.cache_stats().1, misses_second);
+    }
+
+    #[test]
+    fn truncated_groebner_run_is_flagged_but_still_verifies() {
+        // prod and sq_x have incomparable, non-coprime leading monomials
+        // (x*y vs x^2), so their 2-relation basis needs at least one real
+        // S-polynomial reduction: a zero-iteration bound deterministically
+        // truncates it. The target x^3*y = (x^2)*(x*y) maps fully onto both
+        // elements, making {prod, sq_x} the unique cheapest subset.
+        let mut lib = Library::new("t");
+        lib.push(element("prod", "q", "x*y", 5, 1e-9));
+        lib.push(element("sq_x", "u", "x^2", 4, 1e-9));
+        let target = p("x^3*y");
+        let full = Mapper::new(&lib, MapperConfig::default())
+            .map_polynomial(&target)
+            .unwrap();
+        assert!(full.basis_complete);
+        assert!(full.uses_element("prod") && full.uses_element("sq_x"));
+        let truncated = Mapper::new(
+            &lib,
+            MapperConfig {
+                groebner: symmap_algebra::groebner::GroebnerOptions {
+                    max_iterations: 0,
+                    ..Default::default()
+                },
+                ..MapperConfig::default()
+            },
+        )
+        .map_polynomial(&target)
+        .unwrap();
+        // The winner still combines both relations, its basis is truncated,
+        // and the solution must say so rather than silently pretending the
+        // rewrite is canonical — while remaining a valid rewrite: "basis
+        // truncated" is explicitly not "not mappable".
+        assert!(truncated.uses_element("prod") && truncated.uses_element("sq_x"));
+        assert!(!truncated.basis_complete);
+        assert!(truncated.verify(), "truncated rewrite must stay sound");
+        assert!(truncated.accuracy <= 1e-4);
     }
 
     #[test]

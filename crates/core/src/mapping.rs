@@ -27,6 +27,16 @@ pub struct MappingSolution {
     pub accuracy: f64,
     /// Number of branch-and-bound nodes explored to find this solution.
     pub nodes_explored: usize,
+    /// Whether the Gröbner basis behind `rewritten` ran to completion.
+    ///
+    /// When `false` the rewrite is still functionally valid ([`verify`]
+    /// holds — reduction only ever subtracts ideal members) but not
+    /// canonical: a truncated basis may leave program variables in
+    /// `rewritten` that a complete basis would have eliminated, so "basis
+    /// truncated" must never be read as "not expressible in the library".
+    ///
+    /// [`verify`]: MappingSolution::verify
+    pub basis_complete: bool,
 }
 
 impl MappingSolution {
@@ -137,6 +147,7 @@ mod tests {
             },
             accuracy: 1e-7,
             nodes_explored: 3,
+            basis_complete: true,
         }
     }
 

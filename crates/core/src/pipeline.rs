@@ -6,6 +6,9 @@
 //! into a kernel selection, and measure the resulting decoder's performance,
 //! energy and compliance on the simulated Badge4.
 
+use std::rc::Rc;
+
+use symmap_algebra::groebner::GroebnerCache;
 use symmap_libchar::Library;
 use symmap_mp3::compliance::{self, ComplianceReport};
 use symmap_mp3::decoder::{Decoder, KernelSet, KernelVariant};
@@ -56,6 +59,10 @@ impl CodeVersion {
 }
 
 /// The three-step methodology driver.
+///
+/// Owns one [`GroebnerCache`] shared by every mapper it spawns, so the
+/// side-relation bases priced while mapping one decoder version are reused
+/// by later `map_decoder`/`run` calls (and by every clone of the pipeline).
 #[derive(Debug, Clone)]
 pub struct OptimizationPipeline {
     badge: Badge4,
@@ -63,6 +70,7 @@ pub struct OptimizationPipeline {
     stream_frames: usize,
     seed: u64,
     mapper_config: MapperConfig,
+    groebner_cache: Rc<GroebnerCache>,
 }
 
 impl OptimizationPipeline {
@@ -74,6 +82,7 @@ impl OptimizationPipeline {
             stream_frames: 32,
             seed: 7,
             mapper_config: MapperConfig::default(),
+            groebner_cache: Rc::new(GroebnerCache::new()),
         }
     }
 
@@ -100,6 +109,11 @@ impl OptimizationPipeline {
         &self.badge
     }
 
+    /// `(hits, misses)` of the shared Gröbner-basis memoization layer.
+    pub fn groebner_cache_stats(&self) -> (usize, usize) {
+        (self.groebner_cache.hits(), self.groebner_cache.misses())
+    }
+
     /// Step 2 + 3: profile the original code, identify the critical
     /// procedures, and map each one onto the allowed library. Returns the
     /// resulting kernel selection together with the individual mapping
@@ -115,7 +129,11 @@ impl OptimizationPipeline {
         // can be written as a polynomial, however small).
         let targets = identify::identify_targets(&profile, 99.99);
 
-        let mapper = Mapper::new(&self.library, self.mapper_config.clone());
+        let mapper = Mapper::with_shared_cache(
+            &self.library,
+            self.mapper_config.clone(),
+            Rc::clone(&self.groebner_cache),
+        );
         let mut kernels = KernelSet::reference();
         let mut solutions = Vec::new();
         for target in targets {
@@ -318,6 +336,24 @@ mod tests {
         assert!(
             optimized.real_time_headroom(pipeline.stream_frames())
                 > original.real_time_headroom(pipeline.stream_frames())
+        );
+    }
+
+    #[test]
+    fn pipeline_reuses_groebner_bases_across_runs() {
+        let badge = Badge4::new();
+        let pipeline = small_pipeline(catalog::full_catalog(&badge));
+        pipeline.map_decoder();
+        let (hits_first, misses_first) = pipeline.groebner_cache_stats();
+        assert!(misses_first > 0, "first run must populate the cache");
+        // The second mapping pass prices the same side-relation sets and is
+        // answered from the shared cache without a single new basis.
+        pipeline.map_decoder();
+        let (hits_second, misses_second) = pipeline.groebner_cache_stats();
+        assert!(hits_second > hits_first);
+        assert_eq!(
+            misses_second, misses_first,
+            "identical decoder mapping recomputed a basis"
         );
     }
 
