@@ -20,6 +20,11 @@ pub enum AlgebraError {
     InvalidSideRelation(String),
     /// An exponent was too large to manipulate safely.
     ExponentTooLarge(u64),
+    /// Exponent arithmetic (monomial product, power, or accumulation) would
+    /// overflow the `u32` per-variable degree. The former representation
+    /// wrapped silently in release builds; all exponent arithmetic is now
+    /// checked and surfaces this error on the fallible entry points.
+    DegreeOverflow,
 }
 
 impl fmt::Display for AlgebraError {
@@ -33,6 +38,9 @@ impl fmt::Display for AlgebraError {
             AlgebraError::Numeric(e) => write!(f, "numeric error: {e}"),
             AlgebraError::InvalidSideRelation(s) => write!(f, "invalid side relation: {s}"),
             AlgebraError::ExponentTooLarge(e) => write!(f, "exponent {e} is too large"),
+            AlgebraError::DegreeOverflow => {
+                write!(f, "monomial exponent arithmetic overflows u32")
+            }
         }
     }
 }

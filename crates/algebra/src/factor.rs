@@ -218,8 +218,8 @@ fn rational_sqrt(c: &Rational) -> Option<Rational> {
     if c.is_negative() {
         return None;
     }
-    let num = bigint_sqrt(c.numer())?;
-    let den = bigint_sqrt(c.denom())?;
+    let num = bigint_sqrt(&c.numer())?;
+    let den = bigint_sqrt(&c.denom())?;
     Some(Rational::from_bigints(num, den))
 }
 

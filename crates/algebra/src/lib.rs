@@ -3,8 +3,12 @@
 //! A from-scratch symbolic computer algebra engine providing exactly the
 //! manipulations the DAC 2002 library-mapping methodology obtains from Maple V:
 //!
-//! * multivariate polynomial arithmetic over exact rationals ([`poly`]),
+//! * multivariate polynomial arithmetic over exact rationals ([`poly`]) —
+//!   flat sorted term vectors over packed dense-exponent monomials
+//!   ([`monomial`]) with merge-based add/sub/cancellation and heap-merge
+//!   multiplication (see `DESIGN.md` §4 for the representation),
 //! * monomial orderings including elimination orders ([`ordering`]),
+//!   compared by allocation-free slice loops,
 //! * multi-divisor polynomial division / normal forms ([`division`]),
 //! * Buchberger's algorithm for Gröbner bases ([`groebner`]),
 //! * **simplification modulo a set of side relations** ([`simplify`]) — the

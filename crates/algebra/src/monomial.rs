@@ -1,14 +1,64 @@
-//! Sparse power products (monomials) of symbolic variables.
+//! Packed power products (monomials) of symbolic variables.
+//!
+//! A monomial stores its exponents as a **dense vector indexed by variable
+//! index** (the interner hands out dense indices), trimmed of trailing zeros,
+//! with the total degree cached. Vectors of up to [`INLINE_VARS`] entries
+//! live inline in the monomial itself; only wider monomials spill to the
+//! heap. Divisibility, lcm/gcd and the monomial-order comparisons in
+//! [`crate::ordering`] are plain slice loops over these vectors — no tree
+//! walks, no per-comparison allocation, and `degree_of` is a constant-time
+//! index lookup.
+//!
+//! All exponent arithmetic is checked: the `try_*` constructors surface
+//! [`AlgebraError::DegreeOverflow`], and the infallible wrappers panic
+//! instead of silently wrapping in release builds (the former representation
+//! accumulated with unchecked `+=`).
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
+use crate::error::AlgebraError;
 use crate::var::{Var, VarSet};
+
+/// Number of exponent slots stored inline before spilling to the heap.
+///
+/// Eight covers every workload in the mapper corpus (the paper's examples use
+/// 2–7 variables); the constant only bounds *inline* storage, not the number
+/// of variables.
+///
+/// Because storage is dense **by interner index**, what must fit is the
+/// *highest variable index* occurring in the monomial, not the variable
+/// count: a monomial in one late-interned variable of index `k` stores
+/// `k + 1` slots, and its slice operations scan all of them. This is the
+/// right trade for the mapper (program variables and library symbols are
+/// interned first, so hot monomials have small indices); a process that
+/// interns thousands of names before doing algebra pays proportionally —
+/// see `DESIGN.md` §4 for the limitation and the per-ring remapping that
+/// would lift it.
+pub const INLINE_VARS: usize = 8;
+
+/// Exponent storage: a fixed inline array or a heap spill for wide monomials.
+#[derive(Clone)]
+enum Exps {
+    /// Exponents `arr[..len]`; slots at `len..` are zero.
+    Inline([u32; INLINE_VARS]),
+    /// Heap storage, exactly `len` entries.
+    Heap(Box<[u32]>),
+}
 
 /// A power product `x1^e1 * x2^e2 * ...` with non-negative integer exponents.
 ///
-/// Stored sparsely as a sorted map from variable to exponent; variables with a
-/// zero exponent are never stored, so the empty monomial is the constant `1`.
+/// Stored as a packed exponent vector over dense variable indices with no
+/// trailing zeros, so the empty vector is the constant `1`; the total degree
+/// is cached at construction.
+///
+/// `Ord` is the *canonical storage order* used to keep [`crate::poly::Poly`]
+/// term vectors sorted: exponent vectors compare lexicographically by
+/// variable index (implicit zeros past the end). This order is total and
+/// multiplication-invariant (`a < b` implies `a*c < b*c`), which is what
+/// merge-based polynomial arithmetic needs; it is **not** one of the
+/// [`crate::ordering::MonomialOrder`]s used for Gröbner reduction.
 ///
 /// ```
 /// use symmap_algebra::monomial::Monomial;
@@ -18,82 +68,209 @@ use crate::var::{Var, VarSet};
 /// assert_eq!(m.total_degree(), 3);
 /// assert_eq!(m.degree_of(Var::new("x")), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(Clone)]
 pub struct Monomial {
-    exps: BTreeMap<Var, u32>,
+    /// Number of significant exponent entries (last entry is non-zero).
+    len: u32,
+    /// Cached total degree, wide enough that the cache itself cannot wrap.
+    degree: u64,
+    exps: Exps,
 }
 
 impl Monomial {
+    /// Builds from a dense exponent vector (index = variable index).
+    fn from_dense(mut exps: Vec<u32>) -> Self {
+        while exps.last() == Some(&0) {
+            exps.pop();
+        }
+        let degree = exps.iter().map(|&e| e as u64).sum();
+        let len = exps.len() as u32;
+        if exps.len() <= INLINE_VARS {
+            let mut arr = [0u32; INLINE_VARS];
+            arr[..exps.len()].copy_from_slice(&exps);
+            Monomial {
+                len,
+                degree,
+                exps: Exps::Inline(arr),
+            }
+        } else {
+            Monomial {
+                len,
+                degree,
+                exps: Exps::Heap(exps.into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Builds from `width` exponents produced by `get(index)`, writing
+    /// directly into the inline array when the result fits — the binary
+    /// operations on the division/Gröbner hot path go through here so that
+    /// the common ≤ [`INLINE_VARS`]-wide case allocates nothing at all.
+    fn from_fn(width: usize, get: impl Fn(usize) -> u32) -> Self {
+        if width <= INLINE_VARS {
+            let mut arr = [0u32; INLINE_VARS];
+            let mut degree = 0u64;
+            let mut len = 0usize;
+            for (i, slot) in arr.iter_mut().enumerate().take(width) {
+                let e = get(i);
+                *slot = e;
+                degree += e as u64;
+                if e != 0 {
+                    len = i + 1;
+                }
+            }
+            Monomial {
+                len: len as u32,
+                degree,
+                exps: Exps::Inline(arr),
+            }
+        } else {
+            Monomial::from_dense((0..width).map(get).collect())
+        }
+    }
+
+    /// The packed exponent slice (one entry per variable index, trailing
+    /// zeros trimmed).
+    pub(crate) fn exps(&self) -> &[u32] {
+        match &self.exps {
+            Exps::Inline(arr) => &arr[..self.len as usize],
+            Exps::Heap(v) => v,
+        }
+    }
+
     /// The constant monomial `1`.
     pub fn one() -> Self {
         Monomial {
-            exps: BTreeMap::new(),
+            len: 0,
+            degree: 0,
+            exps: Exps::Inline([0; INLINE_VARS]),
         }
     }
 
     /// A single variable raised to a power (degenerate to `1` when `exp == 0`).
     pub fn var(v: Var, exp: u32) -> Self {
-        let mut exps = BTreeMap::new();
-        if exp > 0 {
-            exps.insert(v, exp);
+        if exp == 0 {
+            return Monomial::one();
         }
-        Monomial { exps }
+        let idx = v.index() as usize;
+        Monomial::from_fn(idx + 1, |i| if i == idx { exp } else { 0 })
     }
 
     /// Builds a monomial from `(variable, exponent)` pairs; zero exponents are
     /// dropped and repeated variables accumulate.
-    pub fn from_pairs(pairs: &[(Var, u32)]) -> Self {
-        let mut m = Monomial::one();
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgebraError::DegreeOverflow`] when accumulation overflows a
+    /// `u32` exponent.
+    pub fn try_from_pairs(pairs: &[(Var, u32)]) -> Result<Self, AlgebraError> {
+        let width = pairs
+            .iter()
+            .filter(|&&(_, e)| e > 0)
+            .map(|&(v, _)| v.index() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut exps = vec![0u32; width];
         for &(v, e) in pairs {
             if e > 0 {
-                *m.exps.entry(v).or_insert(0) += e;
+                let slot = &mut exps[v.index() as usize];
+                *slot = slot.checked_add(e).ok_or(AlgebraError::DegreeOverflow)?;
             }
         }
-        m
+        Ok(Monomial::from_dense(exps))
+    }
+
+    /// Builds a monomial from `(variable, exponent)` pairs; zero exponents are
+    /// dropped and repeated variables accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when accumulation overflows a `u32` exponent; use
+    /// [`Monomial::try_from_pairs`] to handle overflow as an error.
+    pub fn from_pairs(pairs: &[(Var, u32)]) -> Self {
+        Monomial::try_from_pairs(pairs).expect("monomial exponent overflow")
     }
 
     /// Returns `true` for the constant monomial.
     pub fn is_one(&self) -> bool {
-        self.exps.is_empty()
+        self.len == 0
     }
 
-    /// Total degree (sum of all exponents).
+    /// Total degree (sum of all exponents), cached at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (64-bit cached) total degree exceeds `u32::MAX` — only
+    /// reachable through monomials whose individual exponents already sum
+    /// past `u32`, which the checked constructors make explicit rather than
+    /// wrapping.
     pub fn total_degree(&self) -> u32 {
-        self.exps.values().sum()
+        u32::try_from(self.degree).expect("total degree overflows u32")
     }
 
-    /// Exponent of a specific variable (0 when absent).
+    /// Total degree as `u64` (never truncates; used by the graded orders).
+    pub fn total_degree_u64(&self) -> u64 {
+        self.degree
+    }
+
+    /// Exponent of a specific variable (0 when absent). Constant time.
     pub fn degree_of(&self, v: Var) -> u32 {
-        self.exps.get(&v).copied().unwrap_or(0)
+        self.exps().get(v.index() as usize).copied().unwrap_or(0)
     }
 
     /// The set of variables with a non-zero exponent, in interner order.
     pub fn vars(&self) -> VarSet {
-        self.exps.keys().copied().collect()
+        self.iter().map(|(v, _)| v).collect()
     }
 
-    /// Iterates over `(variable, exponent)` pairs.
+    /// Iterates over `(variable, exponent)` pairs in ascending variable
+    /// index, skipping zero exponents.
     pub fn iter(&self) -> impl Iterator<Item = (Var, u32)> + '_ {
-        self.exps.iter().map(|(&v, &e)| (v, e))
+        self.exps()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e > 0)
+            .map(|(i, &e)| (Var::from_index(i as u32), e))
     }
 
     /// Number of distinct variables.
     pub fn num_vars(&self) -> usize {
-        self.exps.len()
+        self.exps().iter().filter(|&&e| e > 0).count()
+    }
+
+    /// Product of two monomials (exponents add, checked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgebraError::DegreeOverflow`] when any exponent sum
+    /// overflows `u32`.
+    pub fn try_mul(&self, other: &Monomial) -> Result<Monomial, AlgebraError> {
+        let (a, b) = (self.exps(), other.exps());
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        // Validate first so the allocation-free builder below can use plain
+        // (now provably non-wrapping) additions.
+        for (&el, &es) in long.iter().zip(short) {
+            el.checked_add(es).ok_or(AlgebraError::DegreeOverflow)?;
+        }
+        Ok(Monomial::from_fn(long.len(), |i| {
+            long[i] + short.get(i).copied().unwrap_or(0)
+        }))
     }
 
     /// Product of two monomials (exponents add).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an exponent sum overflows `u32`; use
+    /// [`Monomial::try_mul`] to handle overflow as an error.
     pub fn mul(&self, other: &Monomial) -> Monomial {
-        let mut exps = self.exps.clone();
-        for (&v, &e) in &other.exps {
-            *exps.entry(v).or_insert(0) += e;
-        }
-        Monomial { exps }
+        self.try_mul(other).expect("monomial exponent overflow")
     }
 
     /// Returns `true` when `self` divides `other` (component-wise `<=`).
     pub fn divides(&self, other: &Monomial) -> bool {
-        self.exps.iter().all(|(v, &e)| other.degree_of(*v) >= e)
+        let (a, b) = (self.exps(), other.exps());
+        a.len() <= b.len() && a.iter().zip(b).all(|(&ea, &eb)| ea <= eb)
     }
 
     /// Quotient `self / other`, or `None` when `other` does not divide `self`.
@@ -101,43 +278,35 @@ impl Monomial {
         if !other.divides(self) {
             return None;
         }
-        let mut exps = BTreeMap::new();
-        for (&v, &e) in &self.exps {
-            let d = e - other.degree_of(v);
-            if d > 0 {
-                exps.insert(v, d);
-            }
-        }
-        Some(Monomial { exps })
+        let (a, b) = (self.exps(), other.exps());
+        Some(Monomial::from_fn(a.len(), |i| {
+            a[i] - b.get(i).copied().unwrap_or(0)
+        }))
     }
 
     /// Least common multiple (component-wise max).
     pub fn lcm(&self, other: &Monomial) -> Monomial {
-        let mut exps = self.exps.clone();
-        for (&v, &e) in &other.exps {
-            let cur = exps.entry(v).or_insert(0);
-            *cur = (*cur).max(e);
-        }
-        Monomial { exps }
+        let (a, b) = (self.exps(), other.exps());
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        Monomial::from_fn(long.len(), |i| {
+            long[i].max(short.get(i).copied().unwrap_or(0))
+        })
     }
 
     /// Greatest common divisor (component-wise min).
     pub fn gcd(&self, other: &Monomial) -> Monomial {
-        let mut exps = BTreeMap::new();
-        for (&v, &e) in &self.exps {
-            let o = other.degree_of(v);
-            let m = e.min(o);
-            if m > 0 {
-                exps.insert(v, m);
-            }
-        }
-        Monomial { exps }
+        let (a, b) = (self.exps(), other.exps());
+        let width = a.len().min(b.len());
+        Monomial::from_fn(width, |i| a[i].min(b[i]))
     }
 
     /// Returns `true` when the two monomials share no variable — Buchberger's
     /// first criterion skips S-polynomials of such pairs.
     pub fn is_coprime_with(&self, other: &Monomial) -> bool {
-        self.exps.keys().all(|v| other.degree_of(*v) == 0)
+        self.exps()
+            .iter()
+            .zip(other.exps())
+            .all(|(&ea, &eb)| ea == 0 || eb == 0)
     }
 
     /// A 64-bit fingerprint of the variable support: bit `index % 64` is set
@@ -148,19 +317,38 @@ impl Monomial {
     /// cheap *necessary* condition used to prefilter divisibility tests in
     /// the division hot path.
     pub fn var_mask(&self) -> u64 {
-        self.exps
-            .keys()
-            .fold(0u64, |m, v| m | 1u64 << (v.index() % 64))
+        self.exps()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e > 0)
+            .fold(0u64, |m, (i, _)| m | 1u64 << (i % 64))
+    }
+
+    /// Raises the monomial to a power (exponents multiply, checked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgebraError::DegreeOverflow`] when any product overflows
+    /// `u32`.
+    pub fn try_pow(&self, k: u32) -> Result<Monomial, AlgebraError> {
+        if k == 0 {
+            return Ok(Monomial::one());
+        }
+        let exps = self.exps();
+        for &e in exps {
+            e.checked_mul(k).ok_or(AlgebraError::DegreeOverflow)?;
+        }
+        Ok(Monomial::from_fn(exps.len(), |i| exps[i] * k))
     }
 
     /// Raises the monomial to a power.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an exponent product overflows `u32`; use
+    /// [`Monomial::try_pow`] to handle overflow as an error.
     pub fn pow(&self, k: u32) -> Monomial {
-        if k == 0 {
-            return Monomial::one();
-        }
-        Monomial {
-            exps: self.exps.iter().map(|(&v, &e)| (v, e * k)).collect(),
-        }
+        self.try_pow(k).expect("monomial exponent overflow")
     }
 
     /// Number of multiplications needed to evaluate the bare power product
@@ -168,6 +356,80 @@ impl Monomial {
     pub fn naive_mul_count(&self) -> u32 {
         let deg = self.total_degree();
         deg.saturating_sub(1)
+    }
+
+    /// The ordering the pre-packing representation (`BTreeMap<Var, u32>`
+    /// keys) derived: sparse `(variable, exponent)` sequences compared
+    /// lexicographically, shorter prefix first. [`crate::poly::Poly::vars`]
+    /// replays it so variable discovery order — which feeds default monomial
+    /// orders in `simplify`/`eliminate` — is bit-compatible with the old
+    /// representation.
+    pub(crate) fn legacy_seq_cmp(&self, other: &Monomial) -> Ordering {
+        let mut a = self.iter();
+        let mut b = other.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(pa), Some(pb)) => match pa.cmp(&pb) {
+                    Ordering::Equal => {}
+                    o => return o,
+                },
+            }
+        }
+    }
+}
+
+impl Default for Monomial {
+    fn default() -> Self {
+        Monomial::one()
+    }
+}
+
+impl PartialEq for Monomial {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing zeros are trimmed, so slice equality is value equality.
+        self.exps() == other.exps()
+    }
+}
+
+impl Eq for Monomial {}
+
+impl Hash for Monomial {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the logical slice so inline and heap storage of the same
+        // value (impossible by construction, but cheap to be safe) agree.
+        self.exps().hash(state);
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    /// The canonical storage order (see the type docs): dense exponent
+    /// vectors compared lexicographically with implicit zeros past the end.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (a, b) = (self.exps(), other.exps());
+        let common = a.len().min(b.len());
+        match a[..common].cmp(&b[..common]) {
+            Ordering::Equal => {
+                // The longer vector ends in a non-zero exponent, so it is
+                // greater at the first index the shorter one lacks.
+                a.len().cmp(&b.len())
+            }
+            o => o,
+        }
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Monomial({self})")
     }
 }
 
@@ -283,6 +545,86 @@ mod tests {
         assert_eq!(a.var_mask() & !b.var_mask(), 0);
         // Exponents do not affect the mask, only the support does.
         assert_eq!(a.var_mask(), a.pow(5).var_mask());
+    }
+
+    #[test]
+    fn checked_exponent_arithmetic_surfaces_degree_overflow() {
+        // Accumulation in try_from_pairs.
+        assert_eq!(
+            Monomial::try_from_pairs(&[(x(), u32::MAX), (x(), 1)]),
+            Err(AlgebraError::DegreeOverflow)
+        );
+        // Product of exponents at the same variable.
+        let big = Monomial::var(x(), u32::MAX);
+        assert_eq!(
+            big.try_mul(&Monomial::var(x(), 1)),
+            Err(AlgebraError::DegreeOverflow)
+        );
+        // Power.
+        assert_eq!(
+            Monomial::var(x(), 1 << 31).try_pow(2),
+            Err(AlgebraError::DegreeOverflow)
+        );
+        // The boundary itself is fine.
+        assert!(Monomial::var(x(), u32::MAX - 1)
+            .try_mul(&Monomial::var(x(), 1))
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "monomial exponent overflow")]
+    fn infallible_mul_panics_instead_of_wrapping() {
+        let big = Monomial::var(x(), u32::MAX);
+        let _ = big.mul(&Monomial::var(x(), 1));
+    }
+
+    #[test]
+    fn wide_monomials_spill_to_the_heap_transparently() {
+        // More than INLINE_VARS distinct variables forces heap storage; the
+        // behavior must be identical.
+        let pairs: Vec<(Var, u32)> = (0..INLINE_VARS as u32 + 4)
+            .map(|i| (Var::new(&format!("wide_spill_v{i}")), i + 1))
+            .collect();
+        let m = Monomial::from_pairs(&pairs);
+        assert_eq!(m.num_vars(), INLINE_VARS + 4);
+        for &(v, e) in &pairs {
+            assert_eq!(m.degree_of(v), e);
+        }
+        let sq = m.mul(&m);
+        for &(v, e) in &pairs {
+            assert_eq!(sq.degree_of(v), 2 * e);
+        }
+        assert!(m.divides(&sq));
+        assert_eq!(sq.div(&m).unwrap(), m);
+        assert_eq!(
+            m.total_degree_u64(),
+            pairs.iter().map(|&(_, e)| e as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn canonical_order_is_total_and_multiplicative() {
+        let monos = [
+            Monomial::one(),
+            Monomial::var(x(), 1),
+            Monomial::var(y(), 2),
+            Monomial::from_pairs(&[(x(), 1), (y(), 1)]),
+            Monomial::from_pairs(&[(x(), 3), (z(), 1)]),
+            Monomial::var(z(), 4),
+        ];
+        for a in &monos {
+            for b in &monos {
+                assert_eq!(a.cmp(b), b.cmp(a).reverse());
+                if a.cmp(b) == Ordering::Equal {
+                    assert_eq!(a, b);
+                }
+                for c in &monos {
+                    if a.cmp(b) == Ordering::Greater {
+                        assert_eq!(a.mul(c).cmp(&b.mul(c)), Ordering::Greater);
+                    }
+                }
+            }
+        }
     }
 
     proptest! {

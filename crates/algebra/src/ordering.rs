@@ -5,6 +5,13 @@
 //! lexicographic and elimination orders so that reduction rewrites the target
 //! polynomial **in terms of the library-element variables** (the new symbols
 //! `p`, `q`, … introduced by side relations) rather than the other way around.
+//!
+//! Comparisons are plain loops over the packed exponent vectors of
+//! [`Monomial`]: listed variables are probed in precedence order with
+//! constant-time `degree_of` lookups and unlisted variables are swept by
+//! index, so a comparison allocates nothing (the pre-packing implementation
+//! built and sorted a `Vec` per operand per comparison — in the innermost
+//! loop of the division algorithm).
 
 use std::cmp::Ordering;
 
@@ -30,6 +37,17 @@ pub enum MonomialOrder {
     /// GrevLex is used. Reduction under this order eliminates the first `k`
     /// variables whenever possible.
     Elimination(VarSet, usize),
+}
+
+/// Returns `true` when dense variable index `idx` belongs to a listed
+/// variable (linear probe; precedence lists are short).
+fn is_listed(listed: &[Var], idx: usize) -> bool {
+    listed.iter().any(|v| v.index() as usize == idx)
+}
+
+/// Exponent of dense index `idx` in a packed exponent slice.
+fn exp_at(exps: &[u32], idx: usize) -> u32 {
+    exps.get(idx).copied().unwrap_or(0)
 }
 
 impl MonomialOrder {
@@ -70,104 +88,74 @@ impl MonomialOrder {
         }
     }
 
-    /// Rank of a variable: lower rank = more significant.
-    fn rank(&self, v: Var) -> (usize, u32) {
-        match self.vars().position(v) {
-            Some(p) => (p, 0),
-            None => (usize::MAX, v.index()),
-        }
-    }
-
-    /// Exponent vector of `m` sorted by precedence rank (most significant first).
-    fn exponent_vector(&self, m: &Monomial) -> Vec<(usize, u32, u32)> {
-        let mut v: Vec<(usize, u32, u32)> = m
-            .iter()
-            .map(|(var, e)| {
-                let (r, tie) = self.rank(var);
-                (r, tie, e)
-            })
-            .collect();
-        v.sort();
-        v
-    }
-
+    /// Lexicographic comparison: listed variables in precedence order, then
+    /// unlisted variables by ascending interner index; the first variable
+    /// with differing exponents decides (larger exponent wins).
     fn lex_cmp(&self, a: &Monomial, b: &Monomial) -> Ordering {
-        let va = self.exponent_vector(a);
-        let vb = self.exponent_vector(b);
-        let mut ia = va.iter().peekable();
-        let mut ib = vb.iter().peekable();
-        loop {
-            match (ia.peek(), ib.peek()) {
-                (None, None) => return Ordering::Equal,
-                (Some(_), None) => return Ordering::Greater,
-                (None, Some(_)) => return Ordering::Less,
-                (Some(&&(ra, ta, ea)), Some(&&(rb, tb, eb))) => {
-                    match (ra, ta).cmp(&(rb, tb)) {
-                        // `a` has a more significant variable that `b` lacks.
-                        Ordering::Less => return Ordering::Greater,
-                        Ordering::Greater => return Ordering::Less,
-                        Ordering::Equal => match ea.cmp(&eb) {
-                            Ordering::Equal => {
-                                ia.next();
-                                ib.next();
-                            }
-                            o => return o,
-                        },
-                    }
-                }
+        let listed = self.vars().as_slice();
+        for &v in listed {
+            match a.degree_of(v).cmp(&b.degree_of(v)) {
+                Ordering::Equal => {}
+                o => return o,
             }
         }
+        let (ea, eb) = (a.exps(), b.exps());
+        for idx in 0..ea.len().max(eb.len()) {
+            if is_listed(listed, idx) {
+                continue;
+            }
+            match exp_at(ea, idx).cmp(&exp_at(eb, idx)) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
     }
 
+    /// Graded reverse lexicographic comparison: total degree first; on ties,
+    /// scan variables from *least* significant (highest-index unlisted
+    /// variable) to most significant — at the first variable with differing
+    /// exponents, the monomial with the **larger** exponent is the smaller.
     fn grevlex_cmp(&self, a: &Monomial, b: &Monomial) -> Ordering {
-        match a.total_degree().cmp(&b.total_degree()) {
+        match a.total_degree_u64().cmp(&b.total_degree_u64()) {
             Ordering::Equal => {}
             o => return o,
         }
-        // Reverse-lex tie break: look at the least significant variable where
-        // the exponents differ; the monomial with the larger exponent there is
-        // the smaller monomial.
-        let va = self.exponent_vector(a);
-        let vb = self.exponent_vector(b);
-        let mut ia = va.iter().rev().peekable();
-        let mut ib = vb.iter().rev().peekable();
-        loop {
-            match (ia.peek(), ib.peek()) {
-                (None, None) => return Ordering::Equal,
-                // `a` still has variables in less significant positions that `b`
-                // lacks: `a` is smaller.
-                (Some(_), None) => return Ordering::Less,
-                (None, Some(_)) => return Ordering::Greater,
-                (Some(&&(ra, ta, ea)), Some(&&(rb, tb, eb))) => {
-                    match (ra, ta).cmp(&(rb, tb)) {
-                        // `a`'s least significant remaining variable is less
-                        // significant than `b`'s: `a` has the extra exponent at
-                        // the smaller variable, so `a` is smaller.
-                        Ordering::Greater => return Ordering::Less,
-                        Ordering::Less => return Ordering::Greater,
-                        Ordering::Equal => match ea.cmp(&eb) {
-                            Ordering::Equal => {
-                                ia.next();
-                                ib.next();
-                            }
-                            Ordering::Greater => return Ordering::Less,
-                            Ordering::Less => return Ordering::Greater,
-                        },
-                    }
-                }
+        let listed = self.vars().as_slice();
+        let (ea, eb) = (a.exps(), b.exps());
+        for idx in (0..ea.len().max(eb.len())).rev() {
+            if is_listed(listed, idx) {
+                continue;
+            }
+            match exp_at(ea, idx).cmp(&exp_at(eb, idx)) {
+                Ordering::Equal => {}
+                Ordering::Greater => return Ordering::Less,
+                Ordering::Less => return Ordering::Greater,
             }
         }
+        for &v in listed.iter().rev() {
+            match a.degree_of(v).cmp(&b.degree_of(v)) {
+                Ordering::Equal => {}
+                Ordering::Greater => return Ordering::Less,
+                Ordering::Less => return Ordering::Greater,
+            }
+        }
+        Ordering::Equal
     }
 
-    fn block_degree(&self, m: &Monomial, k: usize) -> u32 {
-        self.vars().iter().take(k).map(|v| m.degree_of(v)).sum()
+    fn block_degree(&self, m: &Monomial, k: usize) -> u64 {
+        self.vars()
+            .iter()
+            .take(k)
+            .map(|v| m.degree_of(v) as u64)
+            .sum()
     }
 
     /// Compares two monomials under this order.
     pub fn cmp(&self, a: &Monomial, b: &Monomial) -> Ordering {
         match self {
             MonomialOrder::Lex(_) => self.lex_cmp(a, b),
-            MonomialOrder::GrLex(_) => match a.total_degree().cmp(&b.total_degree()) {
+            MonomialOrder::GrLex(_) => match a.total_degree_u64().cmp(&b.total_degree_u64()) {
                 Ordering::Equal => self.lex_cmp(a, b),
                 o => o,
             },
@@ -289,6 +277,27 @@ mod tests {
         let o = MonomialOrder::lex(&["x"]);
         // y is not listed: x beats any power of y.
         assert_eq!(o.cmp(&m(&[("x", 1)]), &m(&[("y", 9)])), Ordering::Greater);
+    }
+
+    #[test]
+    fn unlisted_variables_order_by_interner_index() {
+        // Two fresh unlisted variables: the earlier-interned one is the more
+        // significant, exactly as the pre-packing rank `(MAX, index)` ranked
+        // them.
+        let a = Var::new("ord_unlisted_first");
+        let b = Var::new("ord_unlisted_second");
+        assert!(a.index() < b.index());
+        let o = MonomialOrder::lex(&["x"]);
+        let ma = Monomial::var(a, 1);
+        let mb = Monomial::var(b, 5);
+        assert_eq!(o.cmp(&ma, &mb), Ordering::Greater);
+        let grevlex = MonomialOrder::grevlex(&["x"]);
+        // Same degree: the one loaded on the less significant (later) var is
+        // smaller under grevlex.
+        assert_eq!(
+            grevlex.cmp(&Monomial::var(a, 2), &Monomial::var(b, 2)),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Multivariate polynomials over exact rationals.
 
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -12,8 +13,14 @@ use crate::var::{Var, VarSet};
 
 /// A multivariate polynomial with [`Rational`] coefficients.
 ///
-/// Terms are stored canonically in a map keyed by [`Monomial`]; zero
-/// coefficients are never stored, so the zero polynomial has no terms.
+/// Terms are stored as a flat vector sorted **descending** by the canonical
+/// (multiplication-invariant) [`Monomial`] order, with no zero coefficients,
+/// so equal polynomials have identical storage. Addition and subtraction are
+/// linear merges of two sorted term lists, [`Poly::sub_scaled`] (the
+/// cancellation step of division) is a single merge against a lazily scaled
+/// divisor, and [`Poly::mul`] is a heap-merge over per-term product streams —
+/// none of which rebuild a search tree the way the former
+/// `BTreeMap<Monomial, Rational>` storage did.
 ///
 /// ```
 /// use symmap_algebra::poly::Poly;
@@ -27,18 +34,79 @@ use crate::var::{Var, VarSet};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Poly {
-    terms: BTreeMap<Monomial, Rational>,
+    /// `(monomial, coefficient)` pairs, canonically sorted (descending), no
+    /// zero coefficients, no duplicate monomials.
+    terms: Vec<Term>,
 }
 
 /// A single `(monomial, coefficient)` term of a polynomial.
 pub type Term = (Monomial, Rational);
 
+/// Merges two term streams sorted descending by the canonical monomial
+/// order, summing coefficients of equal monomials and dropping zeros.
+fn merge_terms(
+    a: impl Iterator<Item = Term>,
+    b: impl Iterator<Item = Term>,
+    capacity: usize,
+) -> Vec<Term> {
+    let mut out: Vec<Term> = Vec::with_capacity(capacity);
+    let mut a = a.peekable();
+    let mut b = b.peekable();
+    loop {
+        let which = match (a.peek(), b.peek()) {
+            (None, None) => break,
+            (Some(_), None) => Ordering::Greater,
+            (None, Some(_)) => Ordering::Less,
+            (Some((ma, _)), Some((mb, _))) => ma.cmp(mb),
+        };
+        match which {
+            Ordering::Greater => out.push(a.next().expect("peeked")),
+            Ordering::Less => out.push(b.next().expect("peeked")),
+            Ordering::Equal => {
+                let (m, ca) = a.next().expect("peeked");
+                let (_, cb) = b.next().expect("peeked");
+                let c = &ca + &cb;
+                if !c.is_zero() {
+                    out.push((m, c));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A pending product stream head for the heap-merge multiplication: term `i`
+/// of the shorter operand times term `j` of the longer one. Max-heap keyed by
+/// the product monomial (ties broken by stream index for determinism).
+struct ProductHead {
+    mono: Monomial,
+    i: usize,
+    j: usize,
+}
+
+impl PartialEq for ProductHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.mono == other.mono && self.i == other.i
+    }
+}
+impl Eq for ProductHead {}
+impl PartialOrd for ProductHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ProductHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.mono
+            .cmp(&other.mono)
+            .then_with(|| other.i.cmp(&self.i))
+    }
+}
+
 impl Poly {
     /// The zero polynomial.
     pub fn zero() -> Self {
-        Poly {
-            terms: BTreeMap::new(),
-        }
+        Poly { terms: Vec::new() }
     }
 
     /// The constant polynomial `1`.
@@ -48,11 +116,12 @@ impl Poly {
 
     /// A constant polynomial.
     pub fn constant(c: Rational) -> Self {
-        let mut terms = BTreeMap::new();
-        if !c.is_zero() {
-            terms.insert(Monomial::one(), c);
+        if c.is_zero() {
+            return Poly::zero();
         }
-        Poly { terms }
+        Poly {
+            terms: vec![(Monomial::one(), c)],
+        }
     }
 
     /// An integer constant polynomial.
@@ -72,20 +141,37 @@ impl Poly {
 
     /// A single-term polynomial `c * m`.
     pub fn from_term(m: Monomial, c: Rational) -> Self {
-        let mut terms = BTreeMap::new();
-        if !c.is_zero() {
-            terms.insert(m, c);
+        if c.is_zero() {
+            return Poly::zero();
         }
-        Poly { terms }
+        Poly {
+            terms: vec![(m, c)],
+        }
     }
 
     /// Builds a polynomial from a list of terms (duplicates accumulate).
     pub fn from_terms<I: IntoIterator<Item = Term>>(iter: I) -> Self {
-        let mut p = Poly::zero();
-        for (m, c) in iter {
-            p.add_term(&m, &c);
+        let mut terms: Vec<Term> = iter.into_iter().collect();
+        // Sort descending by the canonical order, stably, so coefficients of
+        // duplicate monomials accumulate in input order.
+        terms.sort_by(|(ma, _), (mb, _)| mb.cmp(ma));
+        let mut out: Vec<Term> = Vec::with_capacity(terms.len());
+        for (m, c) in terms {
+            match out.last_mut() {
+                Some((lm, lc)) if *lm == m => {
+                    *lc += &c;
+                    if lc.is_zero() {
+                        out.pop();
+                    }
+                }
+                _ => {
+                    if !c.is_zero() {
+                        out.push((m, c));
+                    }
+                }
+            }
         }
-        p
+        Poly { terms: out }
     }
 
     /// Parses a textual polynomial such as `"x^2 + 2*x*y - 3/2"`.
@@ -110,32 +196,29 @@ impl Poly {
 
     /// Returns `true` if the polynomial is a constant (including zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty()
-            || (self.terms.len() == 1 && self.terms.contains_key(&Monomial::one()))
+        match self.terms.as_slice() {
+            [] => true,
+            [(m, _)] => m.is_one(),
+            _ => false,
+        }
     }
 
     /// Returns the constant value when [`Poly::is_constant`] is true.
     pub fn as_constant(&self) -> Option<Rational> {
-        if self.is_zero() {
-            Some(Rational::zero())
-        } else if self.is_constant() {
-            self.terms.get(&Monomial::one()).cloned()
-        } else {
-            None
+        match self.terms.as_slice() {
+            [] => Some(Rational::zero()),
+            [(m, c)] if m.is_one() => Some(c.clone()),
+            _ => None,
         }
     }
 
     /// Returns `Some(var)` when the polynomial is exactly a single variable
     /// with coefficient one.
     pub fn as_single_variable(&self) -> Option<Var> {
-        if self.terms.len() != 1 {
-            return None;
+        match self.terms.as_slice() {
+            [(m, c)] if c.is_one() && m.total_degree() == 1 => m.iter().next().map(|(v, _)| v),
+            _ => None,
         }
-        let (m, c) = self.terms.iter().next().expect("one term");
-        if !c.is_one() || m.total_degree() != 1 {
-            return None;
-        }
-        m.iter().next().map(|(v, _)| v)
     }
 
     /// Number of terms.
@@ -143,29 +226,41 @@ impl Poly {
         self.terms.len()
     }
 
-    /// Iterates over `(monomial, coefficient)` pairs in canonical storage order.
+    /// Iterates over `(monomial, coefficient)` pairs in canonical storage
+    /// order (descending in the canonical monomial order).
     pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &Rational)> + '_ {
-        self.terms.iter()
+        self.terms.iter().map(|(m, c)| (m, c))
     }
 
     /// Total degree (max over terms); zero polynomial has degree 0.
     pub fn total_degree(&self) -> u32 {
         self.terms
-            .keys()
-            .map(Monomial::total_degree)
+            .iter()
+            .map(|(m, _)| m.total_degree())
             .max()
             .unwrap_or(0)
     }
 
     /// Degree in a specific variable.
     pub fn degree_in(&self, v: Var) -> u32 {
-        self.terms.keys().map(|m| m.degree_of(v)).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|(m, _)| m.degree_of(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// All variables that occur with non-zero exponent.
+    ///
+    /// The discovery order replays the pre-packing representation exactly
+    /// (terms visited ascending in the legacy sparse-sequence monomial
+    /// order): it feeds default variable orders in `simplify`/`eliminate`,
+    /// so it must stay bit-compatible across the storage change.
     pub fn vars(&self) -> VarSet {
+        let mut monos: Vec<&Monomial> = self.terms.iter().map(|(m, _)| m).collect();
+        monos.sort_by(|a, b| a.legacy_seq_cmp(b));
         let mut s = VarSet::new();
-        for m in self.terms.keys() {
+        for m in monos {
             for (v, _) in m.iter() {
                 s.push(v);
             }
@@ -175,7 +270,15 @@ impl Poly {
 
     /// Coefficient of a monomial (zero if absent).
     pub fn coefficient(&self, m: &Monomial) -> Rational {
-        self.terms.get(m).cloned().unwrap_or_else(Rational::zero)
+        match self.position_of(m) {
+            Ok(i) => self.terms[i].1.clone(),
+            Err(_) => Rational::zero(),
+        }
+    }
+
+    /// Binary search for `m` in the descending-sorted term vector.
+    fn position_of(&self, m: &Monomial) -> Result<usize, usize> {
+        self.terms.binary_search_by(|(tm, _)| m.cmp(tm))
     }
 
     /// Adds `c * m` in place.
@@ -183,51 +286,58 @@ impl Poly {
         if c.is_zero() {
             return;
         }
-        let entry = self.terms.entry(m.clone()).or_insert_with(Rational::zero);
-        *entry = &*entry + c;
-        if entry.is_zero() {
-            self.terms.remove(m);
+        match self.position_of(m) {
+            Ok(i) => {
+                self.terms[i].1 += c;
+                if self.terms[i].1.is_zero() {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(i, (m.clone(), c.clone())),
         }
     }
 
-    /// Polynomial addition.
+    /// Polynomial addition (linear merge of the sorted term vectors).
     pub fn add(&self, other: &Poly) -> Poly {
-        let mut out = self.clone();
-        for (m, c) in other.iter() {
-            out.add_term(m, c);
+        Poly {
+            terms: merge_terms(
+                self.terms.iter().cloned(),
+                other.terms.iter().cloned(),
+                self.terms.len() + other.terms.len(),
+            ),
         }
-        out
     }
 
     /// In-place `self -= g * (c * m)` — the cancellation step of multivariate
-    /// division, fused so no temporary polynomial is allocated (the naive
-    /// `self = self.sub(&g.mul_term(m, c))` builds two).
+    /// division, fused into one merge pass: the scaled divisor terms are
+    /// produced lazily (the canonical order is multiplication-invariant, so
+    /// `g`'s sorted terms stay sorted after scaling by a monomial) and merged
+    /// into the existing term vector without building `g.mul_term(m, c)`.
     pub fn sub_scaled(&mut self, g: &Poly, m: &Monomial, c: &Rational) {
-        if c.is_zero() {
+        if c.is_zero() || g.is_zero() {
             return;
         }
-        for (mg, cg) in g.iter() {
-            self.add_term(&mg.mul(m), &-(cg * c));
-        }
+        let own = std::mem::take(&mut self.terms);
+        let capacity = own.len() + g.terms.len();
+        let scaled = g.terms.iter().map(|(gm, gc)| (gm.mul(m), -(gc * c)));
+        self.terms = merge_terms(own.into_iter(), scaled, capacity);
     }
 
     /// Polynomial subtraction.
     pub fn sub(&self, other: &Poly) -> Poly {
-        let mut out = self.clone();
-        for (m, c) in other.iter() {
-            out.add_term(m, &-c.clone());
+        Poly {
+            terms: merge_terms(
+                self.terms.iter().cloned(),
+                other.terms.iter().map(|(m, c)| (m.clone(), -c)),
+                self.terms.len() + other.terms.len(),
+            ),
         }
-        out
     }
 
     /// Negation.
     pub fn neg(&self) -> Poly {
         Poly {
-            terms: self
-                .terms
-                .iter()
-                .map(|(m, c)| (m.clone(), -c.clone()))
-                .collect(),
+            terms: self.terms.iter().map(|(m, c)| (m.clone(), -c)).collect(),
         }
     }
 
@@ -241,7 +351,8 @@ impl Poly {
         }
     }
 
-    /// Multiplication by a single term `c * m`.
+    /// Multiplication by a single term `c * m`. The canonical order is
+    /// multiplication-invariant, so the result is a sorted map — no re-sort.
     pub fn mul_term(&self, m: &Monomial, c: &Rational) -> Poly {
         if c.is_zero() {
             return Poly::zero();
@@ -255,26 +366,86 @@ impl Poly {
         }
     }
 
-    /// Polynomial multiplication (naive term-by-term expansion).
+    /// Polynomial multiplication: a heap-merge over one product stream per
+    /// term of the shorter operand. Each stream (`term_i * other`) is already
+    /// sorted because the canonical order is multiplication-invariant, so the
+    /// k-way max-heap pops products in order and equal monomials coalesce as
+    /// they surface — the output is built sorted, never searched.
     pub fn mul(&self, other: &Poly) -> Poly {
-        let mut out = Poly::zero();
-        for (m, c) in self.iter() {
-            for (m2, c2) in other.iter() {
-                out.add_term(&m.mul(m2), &(c * c2));
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let (short, long) = if self.terms.len() <= other.terms.len() {
+            (&self.terms, &other.terms)
+        } else {
+            (&other.terms, &self.terms)
+        };
+        let mut heap: std::collections::BinaryHeap<ProductHead> =
+            std::collections::BinaryHeap::with_capacity(short.len());
+        for (i, (m, _)) in short.iter().enumerate() {
+            heap.push(ProductHead {
+                mono: m.mul(&long[0].0),
+                i,
+                j: 0,
+            });
+        }
+        let mut out: Vec<Term> = Vec::with_capacity(short.len() + long.len());
+        while let Some(head) = heap.pop() {
+            let ProductHead { mono, i, j } = head;
+            let mut coeff = &short[i].1 * &long[j].1;
+            if j + 1 < long.len() {
+                heap.push(ProductHead {
+                    mono: short[i].0.mul(&long[j + 1].0),
+                    i,
+                    j: j + 1,
+                });
+            }
+            // Coalesce every other stream head with the same product monomial.
+            while let Some(next) = heap.peek() {
+                if next.mono != mono {
+                    break;
+                }
+                let next = heap.pop().expect("peeked");
+                coeff += &(&short[next.i].1 * &long[next.j].1);
+                if next.j + 1 < long.len() {
+                    heap.push(ProductHead {
+                        mono: short[next.i].0.mul(&long[next.j + 1].0),
+                        i: next.i,
+                        j: next.j + 1,
+                    });
+                }
+            }
+            if !coeff.is_zero() {
+                out.push((mono, coeff));
             }
         }
-        out
+        Poly { terms: out }
     }
 
     /// Raises the polynomial to a non-negative power.
     ///
     /// # Errors
     ///
-    /// Returns [`AlgebraError::ExponentTooLarge`] when `exp > 64` to guard
-    /// against accidental term-count explosions.
+    /// Returns [`AlgebraError::ExponentTooLarge`] when `exp > 64` (to guard
+    /// against accidental term-count explosions) and
+    /// [`AlgebraError::DegreeOverflow`] when the resulting exponents would
+    /// overflow `u32`.
     pub fn pow(&self, exp: u32) -> Result<Poly, AlgebraError> {
         if exp > 64 {
             return Err(AlgebraError::ExponentTooLarge(exp as u64));
+        }
+        // Every per-variable exponent of the result is bounded by the
+        // largest single-variable exponent of the base times `exp`; check
+        // once here so the repeated squaring below cannot overflow
+        // (monomial arithmetic would panic rather than wrap).
+        let max_exp = self
+            .terms
+            .iter()
+            .flat_map(|(m, _)| m.iter().map(|(_, e)| e as u64))
+            .max()
+            .unwrap_or(0);
+        if max_exp * exp as u64 > u32::MAX as u64 {
+            return Err(AlgebraError::DegreeOverflow);
         }
         let mut result = Poly::one();
         let mut base = self.clone();
@@ -293,9 +464,20 @@ impl Poly {
 
     /// Leading term under a monomial order, or `None` for the zero polynomial.
     pub fn leading_term(&self, order: &MonomialOrder) -> Option<Term> {
-        order
-            .max(self.terms.keys())
-            .map(|m| (m.clone(), self.terms[m].clone()))
+        let mut best: Option<&Term> = None;
+        for t in &self.terms {
+            best = match best {
+                None => Some(t),
+                Some(b) => {
+                    if order.cmp(&t.0, &b.0) == std::cmp::Ordering::Greater {
+                        Some(t)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best.cloned()
     }
 
     /// Leading monomial under a monomial order.
@@ -383,20 +565,32 @@ impl Poly {
         }
         let mut num_gcd = BigInt::zero();
         let mut den_lcm = BigInt::one();
-        for c in self.terms.values() {
-            num_gcd = num_gcd.gcd(c.numer());
-            den_lcm = den_lcm.lcm(c.denom());
+        for (_, c) in self.iter() {
+            num_gcd = num_gcd.gcd(&c.numer());
+            den_lcm = den_lcm.lcm(&c.denom());
         }
         Rational::from_bigints(num_gcd, den_lcm)
     }
 
     /// Maps every coefficient through `f`, dropping terms that become zero.
+    ///
+    /// The monomials are untouched, so the result reuses the sorted term
+    /// vector directly.
     pub fn map_coefficients(&self, mut f: impl FnMut(&Rational) -> Rational) -> Poly {
-        let mut out = Poly::zero();
-        for (m, c) in self.iter() {
-            out.add_term(m, &f(c));
+        Poly {
+            terms: self
+                .terms
+                .iter()
+                .filter_map(|(m, c)| {
+                    let c = f(c);
+                    if c.is_zero() {
+                        None
+                    } else {
+                        Some((m.clone(), c))
+                    }
+                })
+                .collect(),
         }
-        out
     }
 }
 
@@ -407,7 +601,7 @@ impl fmt::Display for Poly {
         }
         // Display in a readable "descending degree" order.
         let order = MonomialOrder::GrLex(self.vars());
-        let mut terms: Vec<(&Monomial, &Rational)> = self.terms.iter().collect();
+        let mut terms: Vec<(&Monomial, &Rational)> = self.iter().collect();
         terms.sort_by(|a, b| order.cmp(b.0, a.0));
         for (i, (m, c)) in terms.iter().enumerate() {
             let neg = c.is_negative();
@@ -484,6 +678,18 @@ mod tests {
     }
 
     #[test]
+    fn terms_are_canonically_sorted_and_zero_free() {
+        let q = p("y^2 + x - x + 3*x*y + 1 - 1");
+        // Storage invariant: strictly descending canonical order.
+        let monos: Vec<&Monomial> = q.iter().map(|(m, _)| m).collect();
+        for w in monos.windows(2) {
+            assert_eq!(w[0].cmp(w[1]), std::cmp::Ordering::Greater);
+        }
+        assert_eq!(q.num_terms(), 2);
+        assert_eq!(q, p("3*x*y + y^2"));
+    }
+
+    #[test]
     fn addition_cancels() {
         let a = p("x^2 + y");
         let b = p("-x^2 + y");
@@ -517,6 +723,27 @@ mod tests {
         assert_eq!(p("x + 1").pow(3).unwrap(), p("x^3 + 3*x^2 + 3*x + 1"));
         assert_eq!(p("x").pow(0).unwrap(), Poly::one());
         assert!(p("x").pow(1000).is_err());
+    }
+
+    #[test]
+    fn pow_surfaces_degree_overflow() {
+        let big = Poly::from_term(Monomial::var(Var::new("x"), u32::MAX / 2), Rational::one());
+        assert_eq!(big.pow(2).map(|_| ()), Ok(()));
+        let bigger = Poly::from_term(Monomial::var(Var::new("x"), u32::MAX), Rational::one());
+        assert_eq!(bigger.pow(2), Err(AlgebraError::DegreeOverflow));
+        // The guard bounds *per-variable* exponents, not the total degree:
+        // three variables at 2^30 squared is a total degree of ~6.4e9, but
+        // every resulting exponent is 2^31, which fits u32.
+        let wide = Poly::from_term(
+            Monomial::from_pairs(&[
+                (Var::new("x"), 1 << 30),
+                (Var::new("y"), 1 << 30),
+                (Var::new("z"), 1 << 30),
+            ]),
+            Rational::one(),
+        );
+        let sq = wide.pow(2).expect("per-variable exponents fit u32");
+        assert_eq!(sq.degree_in(Var::new("x")), 1 << 31);
     }
 
     #[test]

@@ -177,7 +177,33 @@ fn bench(c: &mut Criterion) {
     );
 
     if quick {
-        println!("SYMMAP_QUICK set: skipping wall-clock measurements\n");
+        // Quick mode still records a wall-clock point per ideal (median of
+        // batches, appended to BENCH.json) so the perf trajectory accumulates
+        // without a full Criterion run; the reduction count anchors each
+        // entry since it is representation-independent and exact.
+        use symmap_bench::quickbench::{self, QuickEntry};
+        let note = quickbench::run_note();
+        let mut entries = Vec::new();
+        println!("groebner_engine — quick wall-clock (median of batches)");
+        for (name, gens, order) in &ideals {
+            let gb = buchberger(gens, order, &GroebnerOptions::default());
+            let wall_ns = quickbench::measure_ns(10, 9, || {
+                criterion::black_box(buchberger(gens, order, &GroebnerOptions::default()));
+            });
+            println!("groebner_engine/{name:<24} {wall_ns:>12} ns/iter");
+            entries.push(QuickEntry {
+                bench: format!("groebner_engine/{name}"),
+                wall_ns,
+                reductions: Some(gb.reductions as u64),
+                note: note.clone(),
+            });
+        }
+        quickbench::append_entries(&entries);
+        println!(
+            "recorded {} entries to {}\n",
+            entries.len(),
+            quickbench::bench_json_path().display()
+        );
         return;
     }
 

@@ -16,6 +16,8 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod quickbench;
+
 use symmap_core::pipeline::{table6_libraries, CodeVersion, OptimizationPipeline};
 use symmap_libchar::catalog;
 use symmap_mp3::decoder::KernelSet;

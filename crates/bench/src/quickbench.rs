@@ -1,0 +1,183 @@
+//! Machine-readable perf records for the quick-mode bench runs.
+//!
+//! `SYMMAP_QUICK=1` bench runs are deterministic regression guards, but until
+//! now their wall-clock numbers scrolled past and vanished. This module
+//! appends one JSON entry per benchmark to `BENCH.json` at the workspace root
+//! so the perf trajectory accumulates across PRs: every entry records the
+//! benchmark name, the measured wall clock, the exact S-polynomial reduction
+//! count where one exists (reduction counts are representation-independent,
+//! so they anchor wall-clock entries from different machines), and a
+//! free-text note (`SYMMAP_BENCH_NOTE`) identifying the run.
+//!
+//! The file is self-describing and append-only:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "entries": [
+//!     {"bench": "groebner_engine/mapper-side-relations", "wall_ns": 1234, "reductions": 7, "note": "PR3 baseline"}
+//!   ]
+//! }
+//! ```
+//!
+//! The merger only has to re-read a file this module itself wrote, so the
+//! parser is deliberately line-oriented rather than a general JSON reader.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One benchmark measurement destined for `BENCH.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuickEntry {
+    /// Benchmark identifier, e.g. `poly_arith/mul`.
+    pub bench: String,
+    /// Median wall clock of one iteration, in nanoseconds.
+    pub wall_ns: u128,
+    /// Exact S-polynomial reduction count, when the workload has one.
+    pub reductions: Option<u64>,
+    /// Free-text provenance (from `SYMMAP_BENCH_NOTE`), e.g. `"PR3 baseline"`.
+    pub note: String,
+}
+
+impl QuickEntry {
+    fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        write!(
+            s,
+            "    {{\"bench\": \"{}\", \"wall_ns\": {}",
+            escape(&self.bench),
+            self.wall_ns
+        )
+        .expect("writing to String cannot fail");
+        if let Some(r) = self.reductions {
+            write!(s, ", \"reductions\": {r}").expect("writing to String cannot fail");
+        }
+        write!(s, ", \"note\": \"{}\"}}", escape(&self.note)).expect("write to String");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            // All control characters must be escaped for valid JSON, not
+            // just newline — notes come from an env var.
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The provenance note for this run, from `SYMMAP_BENCH_NOTE` (empty when
+/// unset).
+pub fn run_note() -> String {
+    std::env::var("SYMMAP_BENCH_NOTE").unwrap_or_default()
+}
+
+/// Path of `BENCH.json` at the workspace root.
+pub fn bench_json_path() -> PathBuf {
+    // crates/bench -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .join("BENCH.json")
+}
+
+/// Appends entries to `BENCH.json`, preserving every previously recorded
+/// entry (the file is the accumulating perf trajectory).
+pub fn append_entries(new_entries: &[QuickEntry]) {
+    let path = bench_json_path();
+    let mut lines: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let t = line.trim_start();
+            if t.starts_with("{\"bench\"") {
+                lines.push(t.trim_end_matches(',').to_string());
+            }
+        }
+    }
+    for e in new_entries {
+        lines.push(e.to_json_line().trim_start().to_string());
+    }
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"entries\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        let sep = if i + 1 == lines.len() { "" } else { "," };
+        writeln!(out, "    {l}{sep}").expect("writing to String cannot fail");
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out).expect("BENCH.json must be writable");
+}
+
+/// Median per-iteration wall clock of `f`, in nanoseconds.
+///
+/// Runs `samples` timed batches of `iters` calls each after a small warm-up
+/// and reports the median batch divided by `iters` — robust against one-off
+/// scheduler noise without needing a statistics dependency.
+pub fn measure_ns<F: FnMut()>(iters: u32, samples: usize, mut f: F) -> u128 {
+    for _ in 0..iters.min(3) {
+        f();
+    }
+    let mut batches: Vec<u128> = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters.max(1) {
+            f();
+        }
+        batches.push(start.elapsed().as_nanos());
+    }
+    batches.sort_unstable();
+    batches[batches.len() / 2] / iters.max(1) as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_shape() {
+        let e = QuickEntry {
+            bench: "poly_arith/mul".into(),
+            wall_ns: 42,
+            reductions: Some(7),
+            note: "unit \"test\"".into(),
+        };
+        let line = e.to_json_line();
+        assert!(line.contains("\"bench\": \"poly_arith/mul\""));
+        assert!(line.contains("\"wall_ns\": 42"));
+        assert!(line.contains("\"reductions\": 7"));
+        assert!(line.contains("unit \\\"test\\\""));
+        let no_red = QuickEntry {
+            reductions: None,
+            ..e
+        };
+        assert!(!no_red.to_json_line().contains("reductions"));
+        // Control characters are escaped so the file stays valid JSON.
+        assert_eq!(escape("a\tb\r\nc"), "a\\u0009b\\u000d\\u000ac");
+    }
+
+    #[test]
+    fn measure_returns_positive_for_nontrivial_work() {
+        let ns = measure_ns(4, 3, || {
+            let v: Vec<u64> = (0..512).collect();
+            assert_eq!(criterion::black_box(v).len(), 512);
+        });
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn bench_json_path_is_at_workspace_root() {
+        let p = bench_json_path();
+        assert!(p.ends_with("BENCH.json"));
+        assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -128,6 +128,23 @@ impl BigInt {
         }
     }
 
+    /// Converts to `u64` if the value is non-negative and fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Overflow`] for negative values or magnitudes
+    /// exceeding `u64`.
+    pub fn to_u64(&self) -> Result<u64, NumericError> {
+        if self.is_negative() || self.limbs.len() > 2 {
+            return Err(NumericError::Overflow(self.to_string()));
+        }
+        let mut mag: u64 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            mag |= (l as u64) << (32 * i);
+        }
+        Ok(mag)
+    }
+
     /// Lossy conversion to `f64`.
     pub fn to_f64(&self) -> f64 {
         let mut v = 0.0_f64;
@@ -458,6 +475,29 @@ impl From<u64> for BigInt {
             limbs.push((v >> 32) as u32);
         }
         BigInt::from_limbs(Sign::Plus, limbs)
+    }
+}
+
+impl From<u128> for BigInt {
+    fn from(v: u128) -> Self {
+        let mut limbs = Vec::with_capacity(4);
+        let mut rest = v;
+        while rest != 0 {
+            limbs.push((rest & 0xFFFF_FFFF) as u32);
+            rest >>= 32;
+        }
+        BigInt::from_limbs(Sign::Plus, limbs)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        let mag = BigInt::from(v.unsigned_abs());
+        if v < 0 {
+            -mag
+        } else {
+            mag
+        }
     }
 }
 
@@ -827,6 +867,28 @@ mod tests {
         let f = v.to_f64();
         assert!((f - 1e21).abs() / 1e21 < 1e-12);
         assert_eq!(BigInt::from(-5_i64).to_f64(), -5.0);
+    }
+
+    #[test]
+    fn to_u64_bounds() {
+        assert_eq!(BigInt::zero().to_u64().unwrap(), 0);
+        assert_eq!(BigInt::from(u64::MAX).to_u64().unwrap(), u64::MAX);
+        assert!(BigInt::from(-1_i64).to_u64().is_err());
+        assert!((&BigInt::from(u64::MAX) + &BigInt::one()).to_u64().is_err());
+    }
+
+    #[test]
+    fn from_i128_u128_round_trip() {
+        assert_eq!(BigInt::from(0_u128), BigInt::zero());
+        assert_eq!(BigInt::from(0_i128), BigInt::zero());
+        let v = u128::MAX;
+        assert_eq!(BigInt::from(v).to_string(), v.to_string());
+        let w = i128::MIN;
+        assert_eq!(BigInt::from(w).to_string(), w.to_string());
+        assert_eq!(
+            BigInt::from(1_i128 << 64).to_string(),
+            (1_u128 << 64).to_string()
+        );
     }
 
     #[test]

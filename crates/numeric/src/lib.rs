@@ -9,7 +9,9 @@
 //! numeric worlds:
 //!
 //! * [`bigint::BigInt`] — arbitrary-precision signed integers,
-//! * [`rational::Rational`] — exact rationals built on [`bigint::BigInt`],
+//! * [`rational::Rational`] — exact rationals with an inline `i64`/`u64`
+//!   fast path, promoting to [`bigint::BigInt`] pairs only on checked
+//!   overflow (typical Gröbner coefficients never allocate),
 //! * [`fixed::Fixed`] — parameterised Q-format fixed-point values as used by the
 //!   in-house ("IH") library of the paper,
 //! * [`series`] — Taylor and Chebyshev expansions used in target-code

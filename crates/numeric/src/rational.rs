@@ -1,8 +1,18 @@
-//! Exact rational numbers over [`BigInt`].
+//! Exact rational numbers with an inline small-value fast path.
 //!
 //! Polynomial coefficients in the symbolic algebra engine are exact rationals:
 //! Gröbner-basis reduction repeatedly divides by leading coefficients, so the
 //! coefficient field must be closed under division.
+//!
+//! Typical Gröbner coefficients are tiny (a handful of digits), yet the
+//! original representation heap-allocated two [`BigInt`]s for every value and
+//! for every intermediate of every `+ - * /`. [`Rational`] therefore stores
+//! small values inline — an `i64` numerator and `u64` denominator — and
+//! performs arithmetic in `i128`/`u128` with checked overflow, promoting to
+//! the [`BigInt`] pair form only when a result genuinely does not fit.
+//! Results that shrink back below the limit are demoted again, so the
+//! representation of a value is canonical: equal rationals always have equal
+//! representations (required for the derived `Eq`/`Hash`).
 //!
 //! ```
 //! use symmap_numeric::rational::Rational;
@@ -20,102 +30,238 @@ use std::str::FromStr;
 use crate::bigint::BigInt;
 use crate::error::NumericError;
 
+/// Internal storage of a [`Rational`].
+///
+/// Invariants shared by both variants: the denominator is strictly positive,
+/// `gcd(|numerator|, denominator) == 1`, and zero is `0/1`. Additionally a
+/// `Big` value never fits the `Small` form (numerator outside `i64` or
+/// denominator outside `u64`) — every constructor demotes — so the derived
+/// `PartialEq`/`Hash` are consistent across variants.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Inline fast path: `num / den` with `den > 0`.
+    Small { num: i64, den: u64 },
+    /// Arbitrary-precision fallback `(num, den)` with `den > 0`, boxed so the
+    /// rare big coefficient does not widen every term of every polynomial.
+    Big(Box<(BigInt, BigInt)>),
+}
+
 /// An exact rational number `numerator / denominator`.
 ///
 /// Invariants: the denominator is always strictly positive and
 /// `gcd(|numerator|, denominator) == 1`; zero is represented as `0/1`.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Rational {
-    num: BigInt,
-    den: BigInt,
+    repr: Repr,
+}
+
+/// `gcd` over `u128` magnitudes (Euclid); `gcd(0, x) == x`.
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// `gcd` over `u64` magnitudes (Euclid); `gcd(0, x) == x`.
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
 }
 
 impl Rational {
+    /// Builds a `Small` value directly. Caller guarantees `den > 0` and that
+    /// the fraction is fully reduced.
+    fn small(num: i64, den: u64) -> Self {
+        debug_assert!(den > 0);
+        debug_assert!(num != 0 || den == 1);
+        Rational {
+            repr: Repr::Small { num, den },
+        }
+    }
+
+    /// Builds from an *already reduced* sign/magnitude pair with `den > 0`,
+    /// choosing the smallest representation that fits. Working in unsigned
+    /// magnitudes keeps every boundary value representable — a reduced
+    /// magnitude of exactly `2^127` (reachable when an `i128` cross-product
+    /// sum lands on `i128::MIN`) has no `i128` negation.
+    fn from_sign_mag_reduced(negative: bool, mag: u128, den: u128) -> Self {
+        debug_assert!(den > 0);
+        if mag == 0 {
+            return Rational::small(0, 1);
+        }
+        let num_fits = if negative {
+            mag <= i64::MAX as u128 + 1
+        } else {
+            mag <= i64::MAX as u128
+        };
+        if num_fits {
+            if let Ok(d) = u64::try_from(den) {
+                // mag <= 2^63 here, so the negation fits i128 and the cast
+                // down to i64 is exact for both signs.
+                let n = if negative {
+                    (-(mag as i128)) as i64
+                } else {
+                    mag as i64
+                };
+                return Rational::small(n, d);
+            }
+        }
+        let num = if negative {
+            -BigInt::from(mag)
+        } else {
+            BigInt::from(mag)
+        };
+        Rational {
+            repr: Repr::Big(Box::new((num, BigInt::from(den)))),
+        }
+    }
+
+    /// Builds from an *already reduced* `num / den` with `den > 0`.
+    fn from_i128_reduced(num: i128, den: u128) -> Self {
+        Rational::from_sign_mag_reduced(num < 0, num.unsigned_abs(), den)
+    }
+
+    /// Builds from `num / den` with `den > 0`, reducing to lowest terms.
+    fn from_i128(num: i128, den: u128) -> Self {
+        debug_assert!(den > 0);
+        if num == 0 {
+            return Rational::small(0, 1);
+        }
+        let g = gcd_u128(num.unsigned_abs(), den);
+        Rational::from_sign_mag_reduced(num < 0, num.unsigned_abs() / g, den / g)
+    }
+
     /// Creates `num / den` from small integers, reducing to lowest terms.
     ///
     /// # Panics
     ///
     /// Panics if `den == 0`.
     pub fn new(num: i64, den: i64) -> Self {
-        Rational::from_bigints(BigInt::from(num), BigInt::from(den))
+        assert!(den != 0, "rational with zero denominator");
+        let n = if den < 0 { -(num as i128) } else { num as i128 };
+        Rational::from_i128(n, den.unsigned_abs() as u128)
     }
 
-    /// Creates `num / den` from big integers, reducing to lowest terms.
+    /// Creates `num / den` from big integers, reducing to lowest terms (and
+    /// demoting to the inline form when the reduced value fits).
     ///
     /// # Panics
     ///
     /// Panics if `den` is zero.
     pub fn from_bigints(num: BigInt, den: BigInt) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
-        let mut r = Rational { num, den };
-        r.normalize();
-        r
+        if num.is_zero() {
+            return Rational::small(0, 1);
+        }
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
+        let g = num.gcd(&den);
+        let (num, den) = if g.is_one() {
+            (num, den)
+        } else {
+            (&num / &g, &den / &g)
+        };
+        if let (Ok(n), Ok(d)) = (num.to_i64(), den.to_u64()) {
+            return Rational::small(n, d);
+        }
+        Rational {
+            repr: Repr::Big(Box::new((num, den))),
+        }
+    }
+
+    /// The value as a `(numerator, denominator)` pair of big integers.
+    fn to_big_pair(&self) -> (BigInt, BigInt) {
+        match &self.repr {
+            Repr::Small { num, den } => (BigInt::from(*num), BigInt::from(*den)),
+            Repr::Big(b) => (b.0.clone(), b.1.clone()),
+        }
     }
 
     /// The additive identity `0/1`.
     pub fn zero() -> Self {
-        Rational {
-            num: BigInt::zero(),
-            den: BigInt::one(),
-        }
+        Rational::small(0, 1)
     }
 
     /// The multiplicative identity `1/1`.
     pub fn one() -> Self {
-        Rational {
-            num: BigInt::one(),
-            den: BigInt::one(),
-        }
+        Rational::small(1, 1)
     }
 
     /// An integer rational `n/1`.
     pub fn integer(n: i64) -> Self {
-        Rational {
-            num: BigInt::from(n),
-            den: BigInt::one(),
-        }
+        Rational::small(n, 1)
     }
 
     /// Returns `true` if the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.num.is_zero()
+        matches!(self.repr, Repr::Small { num: 0, .. })
     }
 
     /// Returns `true` if the value is exactly one.
     pub fn is_one(&self) -> bool {
-        self.num.is_one() && self.den.is_one()
+        matches!(self.repr, Repr::Small { num: 1, den: 1 })
     }
 
     /// Returns `true` if the value is a (possibly negative) integer.
     pub fn is_integer(&self) -> bool {
-        self.den.is_one()
+        match &self.repr {
+            Repr::Small { den, .. } => *den == 1,
+            Repr::Big(b) => b.1.is_one(),
+        }
     }
 
     /// Returns `true` if the value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.num.is_negative()
+        match &self.repr {
+            Repr::Small { num, .. } => *num < 0,
+            Repr::Big(b) => b.0.is_negative(),
+        }
     }
 
     /// Returns `true` if the value is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.num.is_positive()
+        match &self.repr {
+            Repr::Small { num, .. } => *num > 0,
+            Repr::Big(b) => b.0.is_positive(),
+        }
     }
 
-    /// The numerator (sign-carrying part).
-    pub fn numer(&self) -> &BigInt {
-        &self.num
+    /// The numerator (sign-carrying part) as a big integer.
+    pub fn numer(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small { num, .. } => BigInt::from(*num),
+            Repr::Big(b) => b.0.clone(),
+        }
     }
 
-    /// The denominator (always strictly positive).
-    pub fn denom(&self) -> &BigInt {
-        &self.den
+    /// The denominator (always strictly positive) as a big integer.
+    pub fn denom(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small { den, .. } => BigInt::from(*den),
+            Repr::Big(b) => b.1.clone(),
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        Rational {
-            num: self.num.abs(),
-            den: self.den.clone(),
+        match &self.repr {
+            Repr::Small { num, den } => {
+                // |i64::MIN| does not fit i64, so go through i128.
+                Rational::from_i128_reduced((*num as i128).abs(), *den as u128)
+            }
+            Repr::Big(b) => Rational {
+                repr: Repr::Big(Box::new((b.0.abs(), b.1.clone()))),
+            },
         }
     }
 
@@ -128,7 +274,14 @@ impl Rational {
         if self.is_zero() {
             return Err(NumericError::DivisionByZero);
         }
-        Ok(Rational::from_bigints(self.den.clone(), self.num.clone()))
+        match &self.repr {
+            Repr::Small { num, den } => {
+                let mag = *den as i128;
+                let n = if *num < 0 { -mag } else { mag };
+                Ok(Rational::from_i128_reduced(n, num.unsigned_abs() as u128))
+            }
+            Repr::Big(b) => Ok(Rational::from_bigints(b.1.clone(), b.0.clone())),
+        }
     }
 
     /// Raises to an integer power (negative exponents invert).
@@ -138,40 +291,50 @@ impl Rational {
     /// Returns [`NumericError::DivisionByZero`] when raising zero to a
     /// negative power.
     pub fn pow(&self, exp: i32) -> Result<Self, NumericError> {
-        if exp >= 0 {
-            Ok(Rational {
-                num: self.num.pow(exp as u32),
-                den: self.den.pow(exp as u32),
-            })
-        } else {
-            self.recip()?.pow(-exp)
+        if exp < 0 {
+            // unsigned_abs, not -exp: negating i32::MIN overflows.
+            return Ok(self.recip()?.pow_unsigned(exp.unsigned_abs()));
         }
+        Ok(self.pow_unsigned(exp as u32))
+    }
+
+    fn pow_unsigned(&self, exp: u32) -> Self {
+        if let Repr::Small { num, den } = &self.repr {
+            // A reduced fraction stays reduced under powers.
+            if let (Some(n), Some(d)) = (num.checked_pow(exp), den.checked_pow(exp)) {
+                return Rational::small(n, d);
+            }
+        }
+        let (num, den) = self.to_big_pair();
+        Rational::from_bigints(num.pow(exp), den.pow(exp))
     }
 
     /// Lossy conversion to `f64`.
     pub fn to_f64(&self) -> f64 {
-        if self.is_zero() {
-            return 0.0;
-        }
-        // Scale to keep both parts within f64 range for large operands.
-        let nb = self.num.bits() as i64;
-        let db = self.den.bits() as i64;
-        if nb < 900 && db < 900 {
-            self.num.to_f64() / self.den.to_f64()
-        } else {
-            let shift = (nb.max(db) - 512).max(0) as u32;
-            let two = BigInt::from(2_i64);
-            let scale = two.pow(shift);
-            let (n, _) = self.num.div_rem(&scale);
-            let (d, _) = self.den.div_rem(&scale);
-            if d.is_zero() {
-                if self.num.is_negative() {
-                    f64::NEG_INFINITY
+        match &self.repr {
+            Repr::Small { num, den } => *num as f64 / *den as f64,
+            Repr::Big(b) => {
+                // Scale to keep both parts within f64 range for large operands.
+                let nb = b.0.bits() as i64;
+                let db = b.1.bits() as i64;
+                if nb < 900 && db < 900 {
+                    b.0.to_f64() / b.1.to_f64()
                 } else {
-                    f64::INFINITY
+                    let shift = (nb.max(db) - 512).max(0) as u32;
+                    let two = BigInt::from(2_i64);
+                    let scale = two.pow(shift);
+                    let (n, _) = b.0.div_rem(&scale);
+                    let (d, _) = b.1.div_rem(&scale);
+                    if d.is_zero() {
+                        if b.0.is_negative() {
+                            f64::NEG_INFINITY
+                        } else {
+                            f64::INFINITY
+                        }
+                    } else {
+                        n.to_f64() / d.to_f64()
+                    }
                 }
-            } else {
-                n.to_f64() / d.to_f64()
             }
         }
     }
@@ -259,28 +422,28 @@ impl Rational {
 
     /// Rounds toward negative infinity to the nearest integer.
     pub fn floor(&self) -> BigInt {
-        let (q, r) = self.num.div_rem(&self.den);
-        if r.is_negative() {
-            q - BigInt::one()
-        } else {
-            q
+        match &self.repr {
+            Repr::Small { num, den } => {
+                let q = (*num as i128).div_euclid(*den as i128);
+                // |q| <= |num| <= 2^63, so the quotient always fits i128->BigInt.
+                BigInt::from(q)
+            }
+            Repr::Big(b) => {
+                let (q, r) = b.0.div_rem(&b.1);
+                if r.is_negative() {
+                    q - BigInt::one()
+                } else {
+                    q
+                }
+            }
         }
     }
 
-    fn normalize(&mut self) {
-        if self.num.is_zero() {
-            self.den = BigInt::one();
-            return;
-        }
-        if self.den.is_negative() {
-            self.num = -self.num.clone();
-            self.den = -self.den.clone();
-        }
-        let g = self.num.gcd(&self.den);
-        if !g.is_one() {
-            self.num = &self.num / &g;
-            self.den = &self.den / &g;
-        }
+    /// Returns `true` when the value is stored in the inline `i64`/`u64`
+    /// form (exposed for the promotion/demotion boundary tests).
+    #[doc(hidden)]
+    pub fn is_small_repr(&self) -> bool {
+        matches!(self.repr, Repr::Small { .. })
     }
 }
 
@@ -298,9 +461,11 @@ impl From<i64> for Rational {
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Self {
-        Rational {
-            num: v,
-            den: BigInt::one(),
+        match v.to_i64() {
+            Ok(n) => Rational::small(n, 1),
+            Err(_) => Rational {
+                repr: Repr::Big(Box::new((v, BigInt::one()))),
+            },
         }
     }
 }
@@ -342,10 +507,21 @@ impl FromStr for Rational {
 
 impl fmt::Display for Rational {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.den.is_one() {
-            write!(f, "{}", self.num)
-        } else {
-            write!(f, "{}/{}", self.num, self.den)
+        match &self.repr {
+            Repr::Small { num, den } => {
+                if *den == 1 {
+                    write!(f, "{num}")
+                } else {
+                    write!(f, "{num}/{den}")
+                }
+            }
+            Repr::Big(b) => {
+                if b.1.is_one() {
+                    write!(f, "{}", b.0)
+                } else {
+                    write!(f, "{}/{}", b.0, b.1)
+                }
+            }
         }
     }
 }
@@ -364,16 +540,24 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &other.repr)
+        {
+            // Each cross product fits i128: |i64| * u64 < 2^127.
+            return (*a as i128 * *d as i128).cmp(&(*c as i128 * *b as i128));
+        }
+        let (an, ad) = self.to_big_pair();
+        let (bn, bd) = other.to_big_pair();
+        (&an * &bd).cmp(&(&bn * &ad))
     }
 }
 
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational {
-            num: -self.num,
-            den: self.den,
+        match self.repr {
+            Repr::Small { num, den } => Rational::from_i128_reduced(-(num as i128), den as u128),
+            Repr::Big(b) => Rational::from_bigints(-b.0, b.1),
         }
     }
 }
@@ -385,13 +569,28 @@ impl Neg for &Rational {
     }
 }
 
+/// Shared slow path for `+`/`-` via the big-integer formulas.
+fn add_big(lhs: &Rational, rhs: &Rational, subtract: bool) -> Rational {
+    let (an, ad) = lhs.to_big_pair();
+    let (bn, bd) = rhs.to_big_pair();
+    let cross = &bn * &ad;
+    let cross = if subtract { -cross } else { cross };
+    Rational::from_bigints(&(&an * &bd) + &cross, &ad * &bd)
+}
+
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, rhs: &Rational) -> Rational {
-        Rational::from_bigints(
-            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
-            &self.den * &rhs.den,
-        )
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &rhs.repr)
+        {
+            let lhs = *a as i128 * *d as i128;
+            let rhs_term = *c as i128 * *b as i128;
+            if let Some(n) = lhs.checked_add(rhs_term) {
+                return Rational::from_i128(n, *b as u128 * *d as u128);
+            }
+        }
+        add_big(self, rhs, false)
     }
 }
 
@@ -411,7 +610,16 @@ impl AddAssign<&Rational> for Rational {
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, rhs: &Rational) -> Rational {
-        self + &(-rhs)
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &rhs.repr)
+        {
+            let lhs = *a as i128 * *d as i128;
+            let rhs_term = *c as i128 * *b as i128;
+            if let Some(n) = lhs.checked_sub(rhs_term) {
+                return Rational::from_i128(n, *b as u128 * *d as u128);
+            }
+        }
+        add_big(self, rhs, true)
     }
 }
 
@@ -431,7 +639,23 @@ impl SubAssign<&Rational> for Rational {
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, rhs: &Rational) -> Rational {
-        Rational::from_bigints(&self.num * &rhs.num, &self.den * &rhs.den)
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &rhs.repr)
+        {
+            if *a == 0 || *c == 0 {
+                return Rational::zero();
+            }
+            // Cross-reduce first so the products stay small and the result
+            // is already in lowest terms (a⊥b and c⊥d are given).
+            let g1 = gcd_u64(a.unsigned_abs(), *d);
+            let g2 = gcd_u64(c.unsigned_abs(), *b);
+            let n = (*a as i128 / g1 as i128) * (*c as i128 / g2 as i128);
+            let den = (*b / g2) as u128 * (*d / g1) as u128;
+            return Rational::from_i128_reduced(n, den);
+        }
+        let (an, ad) = self.to_big_pair();
+        let (bn, bd) = rhs.to_big_pair();
+        Rational::from_bigints(&an * &bn, &ad * &bd)
     }
 }
 
@@ -452,7 +676,22 @@ impl Div for &Rational {
     type Output = Rational;
     fn div(self, rhs: &Rational) -> Rational {
         assert!(!rhs.is_zero(), "division by zero");
-        Rational::from_bigints(&self.num * &rhs.den, &self.den * &rhs.num)
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &rhs.repr)
+        {
+            if *a == 0 {
+                return Rational::zero();
+            }
+            // (a/b) / (c/d) = (a*d) / (b*|c|) with the sign of a*c.
+            let g1 = gcd_u64(a.unsigned_abs(), c.unsigned_abs());
+            let g2 = gcd_u64(*b, *d);
+            let mag = (a.unsigned_abs() / g1) as u128 * (*d / g2) as u128;
+            let den = (*b / g2) as u128 * (c.unsigned_abs() / g1) as u128;
+            return Rational::from_sign_mag_reduced((*a < 0) != (*c < 0), mag, den);
+        }
+        let (an, ad) = self.to_big_pair();
+        let (bn, bd) = rhs.to_big_pair();
+        Rational::from_bigints(&an * &bd, &ad * &bn)
     }
 }
 
@@ -518,6 +757,14 @@ mod tests {
         assert_eq!(Rational::new(2, 3).pow(0).unwrap(), Rational::one());
         assert!(Rational::zero().recip().is_err());
         assert!(Rational::zero().pow(-1).is_err());
+        // i32::MIN has no i32 negation; the exponent must not be negated in
+        // place. (±1 keep the checked_pow fast path instant at any exponent.)
+        assert_eq!(Rational::one().pow(i32::MIN).unwrap(), Rational::one());
+        assert_eq!(
+            Rational::integer(-1).pow(i32::MIN).unwrap(),
+            Rational::one()
+        );
+        assert!(Rational::zero().pow(i32::MIN).is_err());
     }
 
     #[test]
@@ -557,7 +804,7 @@ mod tests {
     fn approximate_f64_bounds_denominator() {
         let pi = std::f64::consts::PI;
         let approx = Rational::approximate_f64(pi, 1000).unwrap();
-        assert!(approx.denom() <= &BigInt::from(1000_i64));
+        assert!(approx.denom() <= BigInt::from(1000_i64));
         assert!((approx.to_f64() - pi).abs() < 1e-5);
         // The classic 355/113 convergent appears with a denominator cap of 10^4.
         let a2 = Rational::approximate_f64(pi, 10_000).unwrap();
@@ -571,6 +818,123 @@ mod tests {
         assert_eq!(Rational::new(7, 2).floor().to_i64().unwrap(), 3);
         assert_eq!(Rational::new(-7, 2).floor().to_i64().unwrap(), -4);
         assert_eq!(Rational::integer(5).floor().to_i64().unwrap(), 5);
+    }
+
+    // ---- promotion / demotion boundaries of the inline fast path ----
+
+    #[test]
+    fn i64_min_stays_inline_and_negation_promotes() {
+        let min = Rational::integer(i64::MIN);
+        assert!(min.is_small_repr());
+        // |i64::MIN| = 2^63 does not fit the inline numerator.
+        let promoted = -min.clone();
+        assert!(!promoted.is_small_repr());
+        assert_eq!(promoted.to_string(), "9223372036854775808");
+        assert_eq!(min.abs(), promoted);
+        // Negating back demotes to the inline form and round-trips exactly.
+        let back = -promoted;
+        assert!(back.is_small_repr());
+        assert_eq!(back, min);
+    }
+
+    #[test]
+    fn overflowing_arithmetic_promotes_and_demotes() {
+        let big = Rational::integer(i64::MAX);
+        let sum = &big + &big;
+        assert!(!sum.is_small_repr());
+        assert_eq!(sum.to_string(), "18446744073709551614");
+        // Dividing back demotes.
+        let half = &sum / &Rational::integer(2);
+        assert!(half.is_small_repr());
+        assert_eq!(half, big);
+        // Denominator overflow: 1/2^63 * 1/4 needs a 2^65 denominator.
+        let tiny = &Rational::new(1, i64::MIN)
+            .abs()
+            .recip()
+            .unwrap()
+            .recip()
+            .unwrap();
+        let quarter = Rational::new(1, 4);
+        let product = tiny * &quarter;
+        assert!(!product.is_small_repr());
+        assert_eq!(product.to_string(), "1/36893488147419103232");
+        let restored = &product * &Rational::integer(1 << 20);
+        assert!(restored.is_small_repr());
+        assert_eq!(restored, Rational::new(1, 1 << 45));
+    }
+
+    #[test]
+    fn gcd_at_the_overflow_edge() {
+        // i64::MIN / i64::MIN reduces to 1 without overflowing |i64::MIN|.
+        assert_eq!(Rational::new(i64::MIN, i64::MIN), Rational::one());
+        // i64::MIN / -2 must negate 2^62, which fits.
+        let r = Rational::new(i64::MIN, -2);
+        assert!(r.is_small_repr());
+        assert_eq!(r, Rational::integer(1 << 62));
+        // A denominator of i64::MIN magnitude: sign fix pushes 2^63 into u64.
+        let d = Rational::new(3, i64::MIN);
+        assert!(d.is_small_repr());
+        assert_eq!(d.to_string(), "-3/9223372036854775808");
+        // recip of i64::MIN: the magnitude 2^63 moves into the u64
+        // denominator and the numerator becomes -1, still inline.
+        let rec = Rational::integer(i64::MIN).recip().unwrap();
+        assert!(rec.is_small_repr());
+        assert_eq!(rec, Rational::new(1, i64::MIN));
+        assert_eq!(rec.to_string(), "-1/9223372036854775808");
+    }
+
+    #[test]
+    fn i128_min_cross_product_sum_does_not_overflow() {
+        // Regression: the small-path sum of these two values is exactly
+        // -2^127 (i128::MIN) with an odd denominator, so reduction leaves a
+        // magnitude of 2^127 — which has no i128 negation. The
+        // sign/magnitude builder must promote instead of panicking.
+        let a = Rational::integer(i64::MIN);
+        let b = Rational::from_bigints(BigInt::from(i64::MIN), BigInt::from(u64::MAX));
+        let sum = &a + &b;
+        assert!(!sum.is_small_repr());
+        // Check the exact value against the pure-BigInt formula.
+        let expected = Rational::from_bigints(
+            &(&BigInt::from(i64::MIN) * &BigInt::from(u64::MAX)) + &BigInt::from(i64::MIN),
+            BigInt::from(u64::MAX),
+        );
+        assert_eq!(sum, expected);
+        // The symmetric subtraction path hits the same boundary.
+        let diff = &a - &(-b);
+        assert_eq!(diff, expected);
+    }
+
+    #[test]
+    fn equality_and_hash_are_representation_independent() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // The same value reached through promotion+demotion and built directly
+        // must be identical (the canonical-representation invariant).
+        let via_big = &(&Rational::integer(i64::MAX) + &Rational::one()) - &Rational::one();
+        let direct = Rational::integer(i64::MAX);
+        assert!(via_big.is_small_repr());
+        assert_eq!(via_big, direct);
+        let hash = |r: &Rational| {
+            let mut h = DefaultHasher::new();
+            r.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&via_big), hash(&direct));
+    }
+
+    #[test]
+    fn big_value_arithmetic_matches_bigint_formulas() {
+        let a = Rational::from_bigints(
+            "123456789012345678901234567890".parse().unwrap(),
+            "9876543210987654321".parse().unwrap(),
+        );
+        assert!(!a.is_small_repr());
+        let b = Rational::new(1, 3);
+        assert_eq!((&a - &a), Rational::zero());
+        assert_eq!(&(&a * &b) * &Rational::integer(3), a);
+        assert_eq!(&(&a + &b) - &b, a);
+        assert_eq!(&a / &a, Rational::one());
+        assert!(a > b);
     }
 
     proptest! {
@@ -598,6 +962,30 @@ mod tests {
         fn prop_from_f64_exact(v in -1.0e6_f64..1.0e6) {
             let r = Rational::from_f64(v).unwrap();
             prop_assert_eq!(r.to_f64(), v);
+        }
+
+        /// Differential test of the inline fast path against the pure
+        /// [`BigInt`]-pair formulas, driven across the `i64` boundary so both
+        /// the checked fast path and the promotion fallback are exercised.
+        #[test]
+        fn prop_fast_path_matches_bigint_reference(
+            an in any::<i64>(), ad in any::<i64>(),
+            bn in any::<i64>(), bd in any::<i64>(),
+        ) {
+            prop_assume!(ad != 0 && bd != 0);
+            let a = Rational::new(an, ad);
+            let b = Rational::new(bn, bd);
+            let ref_pair = |r: &Rational| (r.numer(), r.denom());
+            let via_big = |num: BigInt, den: BigInt| Rational::from_bigints(num, den);
+            let (p, q) = ref_pair(&a);
+            let (r, s) = ref_pair(&b);
+            prop_assert_eq!(&a + &b, via_big(&(&p * &s) + &(&r * &q), &q * &s));
+            prop_assert_eq!(&a - &b, via_big(&(&p * &s) - &(&r * &q), &q * &s));
+            prop_assert_eq!(&a * &b, via_big(&p * &r, &q * &s));
+            if !b.is_zero() {
+                prop_assert_eq!(&a / &b, via_big(&p * &s, &q * &r));
+            }
+            prop_assert_eq!(a.cmp(&b), (&p * &s).cmp(&(&r * &q)));
         }
     }
 }

@@ -79,6 +79,8 @@ impl_tuple_strategies! {
     (A, B)
     (A, B, C)
     (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
 }
 
 /// Types with a canonical full-domain strategy, mirroring
