@@ -25,10 +25,17 @@
 //! * **Clone-free auto-reduction.** Inter-reduction reduces each element
 //!   modulo the others *in place* via an index-skipping division, instead of
 //!   deep-cloning the rest of the basis for every tail reduction.
+//! * **Shared memoization.** [`SharedGroebnerCache`] memoizes whole bases by
+//!   `(generators, order, options)` behind lock-striped shards with a bounded
+//!   FIFO capacity, so the mapper's branch-and-bound — and the batch engine's
+//!   worker threads — compute each side-relation basis once per process.
 
-use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::division::{normal_form, prepared_normal_form, PreparedDivisor};
 use crate::monomial::Monomial;
@@ -429,38 +436,194 @@ fn auto_reduce(basis: Vec<PreparedDivisor>, order: &MonomialOrder) -> Vec<Poly> 
     reduced.into_iter().map(|(_, p)| p).collect()
 }
 
-/// A memoization layer over [`buchberger`] keyed by `(generators, order,
-/// options)`.
+/// Sizing of a [`SharedGroebnerCache`]: lock shards and bounded capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of independently locked shards. More shards mean less lock
+    /// contention between worker threads whose lookups hash to different
+    /// shards; one shard degenerates to a single-mutex cache.
+    pub shards: usize,
+    /// Total bounded capacity in memoized bases, split evenly across shards.
+    /// When a shard exceeds its slice, its oldest *inserted* entry is evicted
+    /// (deterministic insertion-order eviction).
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            capacity: 4096,
+        }
+    }
+}
+
+/// Point-in-time counters of one cache shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Lookups answered from the shard.
+    pub hits: usize,
+    /// Lookups that computed a fresh basis.
+    pub misses: usize,
+    /// Entries evicted by the capacity bound.
+    pub evictions: usize,
+    /// Bases currently memoized in the shard.
+    pub len: usize,
+}
+
+impl CacheShardStats {
+    /// Counter increments between an earlier snapshot and this one (`len` is
+    /// carried over as the current size, not a delta). Used by the batch
+    /// engine to report per-run cache activity.
+    pub fn delta_since(&self, earlier: &CacheShardStats) -> CacheShardStats {
+        CacheShardStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            len: self.len,
+        }
+    }
+}
+
+/// The per-order level of a shard.
+type OptionsMap = HashMap<GroebnerOptions, GeneratorMap>;
+/// The per-(order, options) generator-set level of a shard.
+type GeneratorMap = HashMap<Vec<Poly>, Arc<GroebnerBasis>>;
+/// Owned lookup key, kept in insertion order for eviction.
+type CacheKey = (MonomialOrder, GroebnerOptions, Vec<Poly>);
+
+/// One lock-striped slice of the cache.
+#[derive(Debug, Default)]
+struct CacheShard {
+    /// Nested maps so a lookup probes every level with *borrowed* keys (the
+    /// generator level via `Vec<Poly>: Borrow<[Poly]>`): a hit allocates and
+    /// clones nothing — only a miss materializes the owned keys.
+    entries: HashMap<MonomialOrder, OptionsMap>,
+    /// Keys in insertion order; the front is the eviction victim.
+    queue: VecDeque<CacheKey>,
+    stats: CacheShardStats,
+}
+
+impl CacheShard {
+    fn lookup(
+        &self,
+        generators: &[Poly],
+        order: &MonomialOrder,
+        options: &GroebnerOptions,
+    ) -> Option<&Arc<GroebnerBasis>> {
+        self.entries
+            .get(order)
+            .and_then(|m| m.get(options))
+            .and_then(|m| m.get(generators))
+    }
+
+    fn evict_oldest(&mut self) {
+        let Some((order, options, generators)) = self.queue.pop_front() else {
+            return;
+        };
+        if let Some(options_map) = self.entries.get_mut(&order) {
+            if let Some(generator_map) = options_map.get_mut(&options) {
+                if generator_map.remove(&generators).is_some() {
+                    self.stats.len -= 1;
+                    self.stats.evictions += 1;
+                }
+                if generator_map.is_empty() {
+                    options_map.remove(&options);
+                }
+            }
+            if options_map.is_empty() {
+                self.entries.remove(&order);
+            }
+        }
+    }
+}
+
+/// A sharded, thread-safe, capacity-bounded memoization layer over
+/// [`buchberger`], keyed by `(generators, order, options)`.
 ///
 /// The mapper's branch-and-bound search and the optimization pipeline price
 /// many candidate element subsets, and distinct targets (or repeated pipeline
 /// runs) routinely share a side-relation set — recomputing the identical
-/// basis dominated the mapper's hot path. Bases are shared via [`Rc`], so a
-/// hit costs one pointer clone.
+/// basis dominated the mapper's hot path. Bases are shared via [`Arc`], so a
+/// hit costs one pointer clone; the cache itself is `Send + Sync` and is
+/// shared across the batch engine's worker threads behind one [`Arc`].
 ///
-/// Cloning a cache clones the *storage*; to share one memo across several
-/// owners, wrap it in an [`Rc`] (as [`Mapper`] and the pipeline do).
+/// # Concurrency
 ///
-/// [`Mapper`]: ../../symmap_core/decompose/struct.Mapper.html
-#[derive(Debug, Clone, Default)]
-pub struct GroebnerCache {
-    /// Nested maps so a lookup probes every level with *borrowed* keys (the
-    /// generator level via `Vec<Poly>: Borrow<[Poly]>`): a hit allocates and
-    /// clones nothing — only a miss materializes the owned keys.
-    entries: RefCell<HashMap<MonomialOrder, OptionsMap>>,
-    hits: Cell<usize>,
-    misses: Cell<usize>,
+/// Entries are striped over [`CacheConfig::shards`] independently locked
+/// shards; the shard of a key is a deterministic (fixed-seed) hash of the
+/// key, so the same request always lands on the same shard. A miss computes
+/// the basis *outside* the shard lock — colliding lookups proceed, and two
+/// threads racing on one key both compute the same pure value (the loser
+/// adopts the winner's entry, so at most one copy is retained). Counter
+/// totals under concurrency are therefore timing-dependent, but cached
+/// *values* never are: a basis is a pure function of its key, which is what
+/// makes the batch engine's output independent of the worker count.
+///
+/// # Eviction
+///
+/// Capacity is bounded ([`CacheConfig::capacity`], split across shards).
+/// When a shard overflows, its oldest inserted entry is evicted first —
+/// deterministic insertion-order (FIFO) eviction, so a long-lived engine's
+/// memory stays bounded without any clock- or randomness-dependent policy.
+#[derive(Debug)]
+pub struct SharedGroebnerCache {
+    shards: Box<[Mutex<CacheShard>]>,
+    per_shard_capacity: usize,
 }
 
-/// The per-order level of the cache.
-type OptionsMap = HashMap<GroebnerOptions, GeneratorMap>;
-/// The per-(order, options) generator-set level of the cache.
-type GeneratorMap = HashMap<Vec<Poly>, Rc<GroebnerBasis>>;
+impl Default for SharedGroebnerCache {
+    fn default() -> Self {
+        SharedGroebnerCache::new()
+    }
+}
 
-impl GroebnerCache {
-    /// Creates an empty cache.
+/// Compile-time guard: the cache (and the `Arc`-shared bases it hands out)
+/// must be `Send + Sync`, so the mapper can never silently regress to a
+/// single-thread-only cache again (its first incarnation was `Rc`/`RefCell`
+/// based, which made every consumer `!Send`).
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedGroebnerCache>();
+    assert_send_sync::<Arc<GroebnerBasis>>();
+    assert_send_sync::<GroebnerBasis>();
+}
+
+impl SharedGroebnerCache {
+    /// Creates an empty cache with the default sharding and capacity.
     pub fn new() -> Self {
-        GroebnerCache::default()
+        SharedGroebnerCache::with_config(CacheConfig::default())
+    }
+
+    /// Creates an empty cache with explicit sharding and capacity. Shard
+    /// count is clamped to at least 1 and capacity to at least one entry per
+    /// shard.
+    pub fn with_config(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let per_shard_capacity = config.capacity.max(shards).div_ceil(shards);
+        SharedGroebnerCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+            per_shard_capacity,
+        }
+    }
+
+    /// The shard a key lives in: a fixed-seed hash, so shard assignment is
+    /// reproducible across runs (eviction behavior at `workers = 1` is a
+    /// deterministic function of the request sequence).
+    fn shard_for(
+        &self,
+        generators: &[Poly],
+        order: &MonomialOrder,
+        options: &GroebnerOptions,
+    ) -> &Mutex<CacheShard> {
+        let mut hasher = DefaultHasher::new();
+        order.hash(&mut hasher);
+        options.hash(&mut hasher);
+        generators.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
     }
 
     /// Returns the (possibly cached) Gröbner basis of `generators` under
@@ -470,54 +633,80 @@ impl GroebnerCache {
         generators: &[Poly],
         order: &MonomialOrder,
         options: &GroebnerOptions,
-    ) -> Rc<GroebnerBasis> {
-        if let Some(hit) = self
-            .entries
-            .borrow()
-            .get(order)
-            .and_then(|m| m.get(options))
-            .and_then(|m| m.get(generators))
+    ) -> Arc<GroebnerBasis> {
+        let shard = self.shard_for(generators, order, options);
         {
-            self.hits.set(self.hits.get() + 1);
-            return Rc::clone(hit);
+            let mut locked = shard.lock();
+            if let Some(hit) = locked.lookup(generators, order, options) {
+                let hit = Arc::clone(hit);
+                locked.stats.hits += 1;
+                return hit;
+            }
+            locked.stats.misses += 1;
         }
-        self.misses.set(self.misses.get() + 1);
-        let gb = Rc::new(buchberger(generators, order, options));
-        self.entries
-            .borrow_mut()
+        // Compute outside the lock so other lookups on this shard proceed.
+        let gb = Arc::new(buchberger(generators, order, options));
+        let mut locked = shard.lock();
+        let locked = &mut *locked;
+        if let Some(existing) = locked.lookup(generators, order, options) {
+            // Lost a compute race on this key; adopt the winner's entry.
+            return Arc::clone(existing);
+        }
+        locked
+            .entries
             .entry(order.clone())
             .or_default()
             .entry(options.clone())
             .or_default()
-            .insert(generators.to_vec(), Rc::clone(&gb));
+            .insert(generators.to_vec(), Arc::clone(&gb));
+        locked
+            .queue
+            .push_back((order.clone(), options.clone(), generators.to_vec()));
+        locked.stats.len += 1;
+        while locked.stats.len > self.per_shard_capacity {
+            locked.evict_oldest();
+        }
         gb
     }
 
-    /// Number of lookups answered from the cache.
+    /// Number of lookups answered from the cache (all shards).
     pub fn hits(&self) -> usize {
-        self.hits.get()
+        self.shards.iter().map(|s| s.lock().stats.hits).sum()
     }
 
-    /// Number of lookups that had to compute a fresh basis.
+    /// Number of lookups that had to compute a fresh basis (all shards).
     pub fn misses(&self) -> usize {
-        self.misses.get()
+        self.shards.iter().map(|s| s.lock().stats.misses).sum()
     }
 
-    /// Number of distinct bases currently memoized.
+    /// Number of entries evicted by the capacity bound (all shards).
+    pub fn evictions(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().stats.evictions).sum()
+    }
+
+    /// Number of distinct bases currently memoized (all shards).
     pub fn len(&self) -> usize {
-        self.entries
-            .borrow()
-            .values()
-            .flat_map(HashMap::values)
-            .map(HashMap::len)
-            .sum()
+        self.shards.iter().map(|s| s.lock().stats.len).sum()
     }
 
-    /// Returns `true` when nothing has been memoized yet.
+    /// Returns `true` when nothing is currently memoized.
     pub fn is_empty(&self) -> bool {
-        // Inner maps are created non-empty and never drained, so an empty
-        // outer map is the only empty state.
-        self.entries.borrow().is_empty()
+        self.len() == 0
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity in bases (per-shard slice × shard count).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Point-in-time counters of every shard, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheShardStats> {
+        self.shards.iter().map(|s| s.lock().stats).collect()
     }
 }
 
@@ -924,18 +1113,18 @@ mod tests {
 
     #[test]
     fn cache_memoizes_identical_requests() {
-        let cache = GroebnerCache::new();
+        let cache = SharedGroebnerCache::new();
         assert!(cache.is_empty());
         let order = MonomialOrder::lex(&["x", "y"]);
         let gens = [p("x^2 + y^2 - 1"), p("x - y")];
         let opts = GroebnerOptions::default();
         let a = cache.basis(&gens, &order, &opts);
         let b = cache.basis(&gens, &order, &opts);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
         // A different order is a different computation.
         let c = cache.basis(&gens, &MonomialOrder::grlex(&["x", "y"]), &opts);
-        assert!(!Rc::ptr_eq(&a, &c));
+        assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
         // Different options are a different key, too.
         cache.basis(
@@ -947,6 +1136,115 @@ mod tests {
             },
         );
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 3, 3));
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn cache_evicts_oldest_insertion_first() {
+        // One shard, two slots: inserting a third distinct key must evict the
+        // *first* inserted key (FIFO), not the least recently used one.
+        let cache = SharedGroebnerCache::with_config(CacheConfig {
+            shards: 1,
+            capacity: 2,
+        });
+        assert_eq!(cache.capacity(), 2);
+        let order = MonomialOrder::lex(&["x", "y"]);
+        let opts = GroebnerOptions::default();
+        let k1 = [p("x - 1")];
+        let k2 = [p("y - 2")];
+        let k3 = [p("x*y - 3")];
+        cache.basis(&k1, &order, &opts);
+        cache.basis(&k2, &order, &opts);
+        // Touch k1 again (a hit): FIFO eviction must still pick k1.
+        cache.basis(&k1, &order, &opts);
+        assert_eq!((cache.len(), cache.evictions()), (2, 0));
+        cache.basis(&k3, &order, &opts);
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        // k2 and k3 still hit; k1 was evicted and is recomputed (a miss).
+        let (hits_before, misses_before) = (cache.hits(), cache.misses());
+        cache.basis(&k2, &order, &opts);
+        cache.basis(&k3, &order, &opts);
+        assert_eq!(cache.hits(), hits_before + 2);
+        cache.basis(&k1, &order, &opts);
+        assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn cache_capacity_stays_bounded_under_churn() {
+        let cache = SharedGroebnerCache::with_config(CacheConfig {
+            shards: 2,
+            capacity: 4,
+        });
+        let order = MonomialOrder::lex(&["x"]);
+        let opts = GroebnerOptions::default();
+        for i in 1..40_i64 {
+            let gens = [p("x").scale(&symmap_numeric::Rational::integer(i))];
+            cache.basis(&gens, &order, &opts);
+        }
+        assert!(
+            cache.len() <= cache.capacity(),
+            "cache grew past its bound: {} > {}",
+            cache.len(),
+            cache.capacity()
+        );
+        assert!(cache.evictions() > 0);
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), 2);
+        let (hits, misses): (usize, usize) = (
+            stats.iter().map(|s| s.hits).sum(),
+            stats.iter().map(|s| s.misses).sum(),
+        );
+        assert_eq!((hits, misses), (cache.hits(), cache.misses()));
+    }
+
+    #[test]
+    fn cache_is_shared_and_consistent_across_threads() {
+        use std::thread;
+        let cache = Arc::new(SharedGroebnerCache::new());
+        let order = MonomialOrder::lex(&["x", "y", "z"]);
+        let opts = GroebnerOptions::default();
+        let reference = groebner_basis(&[p("x^2 - y"), p("x^3 - z")], &order);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let order = order.clone();
+                let opts = opts.clone();
+                thread::spawn(move || {
+                    let mut out = Vec::new();
+                    for _ in 0..8 {
+                        out.push(cache.basis(&[p("x^2 - y"), p("x^3 - z")], &order, &opts));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for gb in handle.join().expect("cache thread panicked") {
+                assert_eq!(gb.polys, reference.polys);
+            }
+        }
+        // 32 lookups total; every one either hit or computed.
+        assert_eq!(cache.hits() + cache.misses(), 32);
+        assert!(cache.misses() >= 1);
+        assert!(cache.len() == 1, "racing threads must retain one entry");
+    }
+
+    #[test]
+    fn shard_stats_delta_subtracts_counters() {
+        let before = CacheShardStats {
+            hits: 2,
+            misses: 3,
+            evictions: 1,
+            len: 4,
+        };
+        let after = CacheShardStats {
+            hits: 10,
+            misses: 5,
+            evictions: 1,
+            len: 6,
+        };
+        let d = after.delta_since(&before);
+        assert_eq!((d.hits, d.misses, d.evictions, d.len), (8, 2, 0, 6));
     }
 
     proptest! {

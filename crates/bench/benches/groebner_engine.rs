@@ -10,48 +10,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use symmap_algebra::groebner::{buchberger, GroebnerOptions};
-use symmap_algebra::ordering::MonomialOrder;
 use symmap_algebra::poly::Poly;
-use symmap_algebra::simplify::SideRelations;
+use symmap_bench::budgets;
 use symmap_core::decompose::{Mapper, MapperConfig};
 use symmap_libchar::{Library, LibraryElement};
 
 fn p(s: &str) -> Poly {
     Poly::parse(s).unwrap()
-}
-
-/// The textbook twisted cubic `<x^2 - y, x^3 - z>` under lex.
-fn twisted_cubic() -> (&'static str, Vec<Poly>, MonomialOrder) {
-    (
-        "twisted-cubic",
-        vec![p("x^2 - y"), p("x^3 - z")],
-        MonomialOrder::lex(&["x", "y", "z"]),
-    )
-}
-
-/// The mapper's 4-relation side-relation ideal (sum/diff/prod/square library
-/// elements) — the elimination-style workload that made the seed engine's
-/// naive pair ordering hang in PR 1.
-fn mapper_side_relations() -> (&'static str, Vec<Poly>, MonomialOrder) {
-    let mut sr = SideRelations::new();
-    sr.push("s", p("x + y")).unwrap();
-    sr.push("d", p("x - y")).unwrap();
-    sr.push("q", p("x*y")).unwrap();
-    sr.push("sx", p("x^2")).unwrap();
-    (
-        "mapper-side-relations",
-        sr.generators(),
-        MonomialOrder::lex(&["x", "y", "s", "d", "q", "sx"]),
-    )
-}
-
-/// The circle/line/saddle system from the ordering ablation.
-fn circle_system() -> (&'static str, Vec<Poly>, MonomialOrder) {
-    (
-        "circle-system",
-        vec![p("x^2 + y^2 + z^2 - 1"), p("x*y - z"), p("x - y + z^2")],
-        MonomialOrder::grevlex(&["x", "y", "z"]),
-    )
 }
 
 /// Ablation grid: engine configurations whose reduction counts get printed.
@@ -90,14 +55,6 @@ fn configurations() -> Vec<(&'static str, GroebnerOptions)> {
     ]
 }
 
-/// Fixed reduction budgets for the default engine configuration, set to the
-/// seed engine's deterministic counts (linear-scan queue + coprime criterion
-/// only): 7 on the twisted cubic, 11 on the mapper ideal. The rebuilt engine
-/// does 5 and 7; counts are exactly reproducible, so exceeding a budget is a
-/// real selection/criteria regression, not noise.
-const TWISTED_CUBIC_BUDGET: usize = 7;
-const MAPPER_IDEAL_BUDGET: usize = 11;
-
 fn element(name: &str, symbol: &str, poly: &str, cycles: u64) -> LibraryElement {
     LibraryElement::builder(name, symbol)
         .polynomial(p(poly))
@@ -110,47 +67,44 @@ fn element(name: &str, symbol: &str, poly: &str, cycles: u64) -> LibraryElement 
 
 fn bench(c: &mut Criterion) {
     let quick = std::env::var("SYMMAP_QUICK").is_ok();
-    let ideals = [twisted_cubic(), mapper_side_relations(), circle_system()];
+    let ideals = budgets::budgeted_ideals();
 
     println!("\ngroebner engine — S-polynomial reduction counts");
     println!(
         "{:<24} {:<12} {:>6} {:>10} {:>8} {:>7} {:>6}",
         "ideal", "config", "basis", "reductions", "coprime", "chain", "done"
     );
-    for (name, gens, order) in &ideals {
+    for ideal in &ideals {
         for (cfg_name, opts) in configurations() {
-            let gb = buchberger(gens, order, &opts);
+            let gb = buchberger(&ideal.generators, &ideal.order, &opts);
             println!(
-                "{name:<24} {cfg_name:<12} {:>6} {:>10} {:>8} {:>7} {:>6}",
+                "{:<24} {cfg_name:<12} {:>6} {:>10} {:>8} {:>7} {:>6}",
+                ideal.name,
                 gb.polys.len(),
                 gb.reductions,
                 gb.skipped_coprime,
                 gb.skipped_chain,
                 gb.complete
             );
-            assert!(gb.complete, "{name}/{cfg_name} hit the iteration bound");
+            assert!(
+                gb.complete,
+                "{}/{cfg_name} hit the iteration bound",
+                ideal.name
+            );
         }
     }
 
-    // The deterministic regression guard (this is what CI quick mode is for).
-    let (_, cubic_gens, cubic_order) = twisted_cubic();
-    let cubic = buchberger(&cubic_gens, &cubic_order, &GroebnerOptions::default());
-    assert!(
-        cubic.reductions <= TWISTED_CUBIC_BUDGET,
-        "twisted cubic exceeded its reduction budget: {} > {TWISTED_CUBIC_BUDGET}",
-        cubic.reductions
-    );
-    let (_, mapper_gens, mapper_order) = mapper_side_relations();
-    let mapper_gb = buchberger(&mapper_gens, &mapper_order, &GroebnerOptions::default());
-    assert!(
-        mapper_gb.reductions <= MAPPER_IDEAL_BUDGET,
-        "mapper side-relation ideal exceeded its reduction budget: {} > {MAPPER_IDEAL_BUDGET}",
-        mapper_gb.reductions
-    );
+    // The deterministic regression guard (this is what CI quick mode is
+    // for): the shared budget table from `symmap_bench::budgets`, also
+    // asserted by the engine_batch bench.
+    for (name, reductions, budget) in budgets::assert_groebner_budgets() {
+        println!("reduction budget ok: {name} {reductions}/{budget}");
+    }
+    let elimination = budgets::assert_elimination_budget();
     println!(
-        "reduction budgets ok: twisted-cubic {}/{TWISTED_CUBIC_BUDGET}, \
-         mapper-side-relations {}/{MAPPER_IDEAL_BUDGET}",
-        cubic.reductions, mapper_gb.reductions
+        "elimination budget ok: twisted-cubic-eliminate-x {}/{}",
+        elimination.reductions,
+        budgets::ELIMINATION_TWISTED_CUBIC_BUDGET
     );
 
     // Mapper memoization: identical map_polynomial calls are answered from
@@ -185,14 +139,18 @@ fn bench(c: &mut Criterion) {
         let note = quickbench::run_note();
         let mut entries = Vec::new();
         println!("groebner_engine — quick wall-clock (median of batches)");
-        for (name, gens, order) in &ideals {
-            let gb = buchberger(gens, order, &GroebnerOptions::default());
+        for ideal in &ideals {
+            let gb = buchberger(&ideal.generators, &ideal.order, &GroebnerOptions::default());
             let wall_ns = quickbench::measure_ns(10, 9, || {
-                criterion::black_box(buchberger(gens, order, &GroebnerOptions::default()));
+                criterion::black_box(buchberger(
+                    &ideal.generators,
+                    &ideal.order,
+                    &GroebnerOptions::default(),
+                ));
             });
-            println!("groebner_engine/{name:<24} {wall_ns:>12} ns/iter");
+            println!("groebner_engine/{:<24} {wall_ns:>12} ns/iter", ideal.name);
             entries.push(QuickEntry {
-                bench: format!("groebner_engine/{name}"),
+                bench: format!("groebner_engine/{}", ideal.name),
                 wall_ns,
                 reductions: Some(gb.reductions as u64),
                 note: note.clone(),
@@ -207,23 +165,26 @@ fn bench(c: &mut Criterion) {
         return;
     }
 
-    for (name, gens, order) in &ideals {
-        c.bench_function(&format!("groebner_engine/{name}/full"), |b| {
-            b.iter(|| buchberger(gens, order, &GroebnerOptions::default()))
+    for ideal in &ideals {
+        c.bench_function(&format!("groebner_engine/{}/full", ideal.name), |b| {
+            b.iter(|| buchberger(&ideal.generators, &ideal.order, &GroebnerOptions::default()))
         });
-        c.bench_function(&format!("groebner_engine/{name}/no_criteria"), |b| {
-            b.iter(|| {
-                buchberger(
-                    gens,
-                    order,
-                    &GroebnerOptions {
-                        use_coprime_criterion: false,
-                        use_chain_criterion: false,
-                        ..Default::default()
-                    },
-                )
-            })
-        });
+        c.bench_function(
+            &format!("groebner_engine/{}/no_criteria", ideal.name),
+            |b| {
+                b.iter(|| {
+                    buchberger(
+                        &ideal.generators,
+                        &ideal.order,
+                        &GroebnerOptions {
+                            use_coprime_criterion: false,
+                            use_chain_criterion: false,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
     }
     c.bench_function("groebner_engine/mapper_memoized", |b| {
         b.iter(|| mapper.map_polynomial(&target).unwrap())

@@ -16,11 +16,17 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod budgets;
 pub mod quickbench;
 
+use std::sync::Arc;
+
 use symmap_core::pipeline::{table6_libraries, CodeVersion, OptimizationPipeline};
+use symmap_engine::{EngineConfig, MapJob, MapperConfig, MappingEngine};
 use symmap_libchar::catalog;
+use symmap_libchar::Library;
 use symmap_mp3::decoder::KernelSet;
+use symmap_mp3::{imdct, synthesis};
 use symmap_platform::machine::Badge4;
 
 /// Number of frames in the measured stream for the quick (bench) runs.
@@ -39,10 +45,25 @@ pub fn pipeline_for(name: &str, badge: &Badge4, frames: usize) -> Option<Optimiz
 
 /// Measures every code version of Table 6 (six mapper-produced versions plus
 /// the hand-optimized IPP MP3 reference point).
+///
+/// The sweep runs through one shared batch engine: every version's mapping
+/// batch uses the engine's worker pool, and one shared Gröbner cache answers
+/// side-relation lookups across *all* versions (each version's library is a
+/// superset of "Original"'s reference elements, so the overlap is large).
+/// The versions themselves are measured in order on the calling thread —
+/// deliberately *not* a second pool layer: nesting a version-level pool
+/// around the engine's per-batch pool would oversubscribe the cores
+/// (`workers²` threads) and, worse, run each batch's pre-interning step on a
+/// racing outer worker, re-opening exactly the interner side channel the
+/// engine closes (DESIGN.md §5). One level of parallelism, deterministic by
+/// construction.
 pub fn table6_versions(badge: &Badge4, frames: usize) -> Vec<CodeVersion> {
+    let engine = MappingEngine::new(EngineConfig::default());
     let mut versions = Vec::new();
     for (name, library) in table6_libraries(badge) {
-        let pipeline = OptimizationPipeline::new(badge.clone(), library).with_stream_frames(frames);
+        let pipeline = OptimizationPipeline::new(badge.clone(), library)
+            .with_stream_frames(frames)
+            .with_engine(engine.clone());
         if name == "Original" {
             versions.push(pipeline.measure("Original", KernelSet::reference()));
         } else {
@@ -53,6 +74,45 @@ pub fn table6_versions(badge: &Badge4, frames: usize) -> Vec<CodeVersion> {
         .with_stream_frames(frames);
     versions.push(pipeline.measure("IPP MP3 (hand optimized)", KernelSet::ipp_complete()));
     versions
+}
+
+/// The 11-kernel MP3 mapping batch: one [`MapJob`] per mapped decoder kernel
+/// line. The six identified stage kernels (dequantize, stereo, antialias,
+/// IMDCT line 0, hybrid, synthesis line 0 — exactly what
+/// `OptimizationPipeline::map_decoder` maps) plus further IMDCT lines 1–3
+/// and synthesis subbands 1–2, each a distinct 16/18-term linear form. This
+/// is the workload of the `engine_batch` bench and of the cross-worker
+/// determinism test.
+pub fn mp3_kernel_jobs(library: &Arc<Library>, config: &MapperConfig) -> Vec<MapJob> {
+    let job = |label: String, poly| MapJob::new(label, poly, Arc::clone(library), config.clone());
+    let mut jobs = vec![
+        job(
+            "III_dequantize_sample".into(),
+            catalog::dequantizer_polynomial(),
+        ),
+        job("III_stereo".into(), catalog::stereo_polynomial()),
+        job("III_antialias".into(), catalog::antialias_polynomial()),
+        job("inv_mdctL".into(), imdct::imdct_polynomial(0, 36)),
+        job("III_hybrid".into(), catalog::hybrid_polynomial()),
+        job(
+            "SubBandSynthesis".into(),
+            synthesis::synthesis_polynomial(0),
+        ),
+    ];
+    for line in 1..=3 {
+        jobs.push(job(
+            format!("inv_mdctL[{line}]"),
+            imdct::imdct_polynomial(line, 36),
+        ));
+    }
+    for subband in 1..=2 {
+        jobs.push(job(
+            format!("SubBandSynthesis[{subband}]"),
+            synthesis::synthesis_polynomial(subband),
+        ));
+    }
+    debug_assert_eq!(jobs.len(), 11);
+    jobs
 }
 
 /// Measures a single named version (used by the per-table benches).

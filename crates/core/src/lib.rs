@@ -10,14 +10,17 @@
 //!    polynomial representation, measured cycles/energy and an accuracy bound.
 //! 2. **Target code identification** ([`identify`]): profiling finds the
 //!    critical procedures and formulates them as polynomials.
-//! 3. **Library mapping** ([`decompose`]): the `Decompose` branch-and-bound of
-//!    the paper's Table 2 rewrites each target polynomial modulo the library
-//!    elements' side relations, bounding the search with performance/energy
-//!    cost and checking accuracy before accepting a solution.
+//! 3. **Library mapping** (`symmap-engine`, re-exported here as
+//!    [`decompose`]): the `Decompose` branch-and-bound of the paper's Table 2
+//!    rewrites each target polynomial modulo the library elements' side
+//!    relations, bounding the search with performance/energy cost and
+//!    checking accuracy before accepting a solution.
 //!
 //! [`pipeline::OptimizationPipeline`] glues the steps together for the MP3
-//! decoder workload and regenerates the paper's Tables 3–6; [`report`]
-//! renders them.
+//! decoder workload, fanning the identified targets out as one batch over
+//! the engine's worker pool (`workers = 1` reproduces the historic
+//! sequential mapper exactly), and regenerates the paper's Tables 3–6;
+//! [`report`] renders them (including the engine's batch statistics).
 //!
 //! ```
 //! use symmap_algebra::poly::Poly;
@@ -41,15 +44,17 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
-pub mod cost;
-pub mod decompose;
-pub mod error;
 pub mod identify;
-pub mod mapping;
 pub mod pipeline;
 pub mod report;
+
+// The mapper subsystem moved into `symmap-engine` when it became a batch
+// service; the historic `symmap_core::{cost, decompose, error, mapping}`
+// paths keep working through these module re-exports.
+pub use symmap_engine::{batch, cost, decompose, error, mapping, pool};
 
 pub use decompose::{Mapper, MapperConfig};
 pub use error::CoreError;
 pub use mapping::MappingSolution;
 pub use pipeline::{CodeVersion, OptimizationPipeline};
+pub use symmap_engine::{BatchResult, EngineConfig, EngineStats, MapJob, MappingEngine};

@@ -6,9 +6,9 @@
 //! into a kernel selection, and measure the resulting decoder's performance,
 //! energy and compliance on the simulated Badge4.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
-use symmap_algebra::groebner::GroebnerCache;
+use symmap_engine::{EngineStats, MapJob, MappingEngine};
 use symmap_libchar::Library;
 use symmap_mp3::compliance::{self, ComplianceReport};
 use symmap_mp3::decoder::{Decoder, KernelSet, KernelVariant};
@@ -17,8 +17,8 @@ use symmap_mp3::types::frame_duration_s;
 use symmap_platform::machine::Badge4;
 use symmap_platform::profiler::{Profile, Profiler};
 
-use crate::decompose::{Mapper, MapperConfig};
-use crate::identify::{self, DecoderStage};
+use crate::decompose::MapperConfig;
+use crate::identify::{self, DecoderStage, TargetFunction};
 use crate::mapping::MappingSolution;
 
 /// A measured decoder configuration — one row of Table 6.
@@ -60,29 +60,34 @@ impl CodeVersion {
 
 /// The three-step methodology driver.
 ///
-/// Owns one [`GroebnerCache`] shared by every mapper it spawns, so the
-/// side-relation bases priced while mapping one decoder version are reused
-/// by later `map_decoder`/`run` calls (and by every clone of the pipeline).
+/// Owns one [`MappingEngine`] whose shared Gröbner cache is reused by every
+/// `map_decoder`/`run` call (and by every clone of the pipeline): the
+/// side-relation bases priced while mapping one decoder version answer the
+/// lookups of later ones. Mapping batches run on the engine's worker pool —
+/// `workers = 1` (the default) is the historic sequential path, and any
+/// other worker count produces byte-identical solutions.
 #[derive(Debug, Clone)]
 pub struct OptimizationPipeline {
     badge: Badge4,
-    library: Library,
+    library: Arc<Library>,
     stream_frames: usize,
     seed: u64,
     mapper_config: MapperConfig,
-    groebner_cache: Rc<GroebnerCache>,
+    engine: MappingEngine,
 }
 
 impl OptimizationPipeline {
     /// Creates a pipeline that maps against `library` and measures on `badge`.
     pub fn new(badge: Badge4, library: Library) -> Self {
+        let mapper_config = MapperConfig::default();
+        let engine = MappingEngine::new(mapper_config.engine.clone());
         OptimizationPipeline {
             badge,
-            library,
+            library: Arc::new(library),
             stream_frames: 32,
             seed: 7,
-            mapper_config: MapperConfig::default(),
-            groebner_cache: Rc::new(GroebnerCache::new()),
+            mapper_config,
+            engine,
         }
     }
 
@@ -94,8 +99,19 @@ impl OptimizationPipeline {
     }
 
     /// Overrides the mapper configuration (used by the ablation benches).
+    /// The batch engine is rebuilt from the configuration's
+    /// [`EngineConfig`](symmap_engine::EngineConfig), with a fresh cache.
     pub fn with_mapper_config(mut self, config: MapperConfig) -> Self {
+        self.engine = MappingEngine::new(config.engine.clone());
         self.mapper_config = config;
+        self
+    }
+
+    /// Routes this pipeline's mapping batches through an existing engine,
+    /// sharing its worker configuration and basis cache (used by the bench
+    /// harness to pool bases across the Table 6 library sweep).
+    pub fn with_engine(mut self, engine: MappingEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -109,9 +125,27 @@ impl OptimizationPipeline {
         &self.badge
     }
 
+    /// The batch engine carrying this pipeline's worker pool and shared
+    /// Gröbner cache.
+    pub fn engine(&self) -> &MappingEngine {
+        &self.engine
+    }
+
     /// `(hits, misses)` of the shared Gröbner-basis memoization layer.
     pub fn groebner_cache_stats(&self) -> (usize, usize) {
-        (self.groebner_cache.hits(), self.groebner_cache.misses())
+        let cache = self.engine.cache();
+        (cache.hits(), cache.misses())
+    }
+
+    /// Step 2: profile the original (reference) decoder on one frame and
+    /// identify every mappable procedure (the paper maps everything that can
+    /// be written as a polynomial, however small).
+    pub fn identify_decoder_targets(&self) -> Vec<TargetFunction> {
+        let frame = FrameGenerator::new(self.seed).frame();
+        let profiler = Profiler::new();
+        Decoder::new(KernelSet::reference()).decode_frame(&frame, &profiler);
+        let profile = profiler.profile(&self.badge);
+        identify::identify_targets(&profile, 99.99)
     }
 
     /// Step 2 + 3: profile the original code, identify the critical
@@ -119,35 +153,47 @@ impl OptimizationPipeline {
     /// resulting kernel selection together with the individual mapping
     /// solutions.
     pub fn map_decoder(&self) -> (KernelSet, Vec<(String, MappingSolution)>) {
-        // Profile the original (reference) decoder on one frame.
-        let frame = FrameGenerator::new(self.seed).frame();
-        let profiler = Profiler::new();
-        Decoder::new(KernelSet::reference()).decode_frame(&frame, &profiler);
-        let profile = profiler.profile(&self.badge);
+        let (kernels, solutions, _) = self.map_decoder_with_stats();
+        (kernels, solutions)
+    }
 
-        // Identify every mappable procedure (the paper maps everything that
-        // can be written as a polynomial, however small).
-        let targets = identify::identify_targets(&profile, 99.99);
+    /// Like [`map_decoder`](OptimizationPipeline::map_decoder), but also
+    /// returns the engine's batch statistics (jobs, steals, per-shard cache
+    /// counters, wall time) for reporting.
+    pub fn map_decoder_with_stats(
+        &self,
+    ) -> (KernelSet, Vec<(String, MappingSolution)>, EngineStats) {
+        let targets = self.identify_decoder_targets();
 
-        let mapper = Mapper::with_shared_cache(
-            &self.library,
-            self.mapper_config.clone(),
-            Rc::clone(&self.groebner_cache),
-        );
+        // One MapJob per identified kernel; the engine preserves job order,
+        // so the solution list is identical to the historic sequential loop.
+        let jobs: Vec<MapJob> = targets
+            .into_iter()
+            .map(|t| {
+                MapJob::new(
+                    t.name,
+                    t.polynomial,
+                    Arc::clone(&self.library),
+                    self.mapper_config.clone(),
+                )
+            })
+            .collect();
+        let batch = self.engine.run(&jobs);
+
         let mut kernels = KernelSet::reference();
         let mut solutions = Vec::new();
-        for target in targets {
-            let Ok(solution) = mapper.map_polynomial(&target.polynomial) else {
+        for (job, outcome) in jobs.into_iter().zip(batch.outcomes) {
+            let Ok(solution) = outcome else {
                 continue;
             };
-            if let Some(stage) = identify::stage_of(&target.name) {
+            if let Some(stage) = identify::stage_of(&job.label) {
                 if let Some(variant) = variant_of_solution(&solution) {
                     apply_variant(&mut kernels, stage, variant);
                 }
             }
-            solutions.push((target.name, solution));
+            solutions.push((job.label, solution));
         }
-        (kernels, solutions)
+        (kernels, solutions, batch.stats)
     }
 
     /// Runs the full methodology and measures the mapped decoder.
@@ -355,6 +401,57 @@ mod tests {
             misses_second, misses_first,
             "identical decoder mapping recomputed a basis"
         );
+    }
+
+    #[test]
+    fn map_decoder_is_byte_identical_across_worker_counts() {
+        let badge = Badge4::new();
+        let reference = {
+            let config = MapperConfig {
+                engine: symmap_engine::EngineConfig {
+                    workers: 1,
+                    ..Default::default()
+                },
+                ..MapperConfig::default()
+            };
+            let pipeline = small_pipeline(catalog::full_catalog(&badge)).with_mapper_config(config);
+            pipeline.map_decoder()
+        };
+        for workers in [2, 4] {
+            let config = MapperConfig {
+                engine: symmap_engine::EngineConfig {
+                    workers,
+                    ..Default::default()
+                },
+                ..MapperConfig::default()
+            };
+            let pipeline = small_pipeline(catalog::full_catalog(&badge)).with_mapper_config(config);
+            let parallel = pipeline.map_decoder();
+            assert_eq!(
+                parallel.0, reference.0,
+                "kernel set diverged at {workers} workers"
+            );
+            assert_eq!(
+                format!("{:?}", parallel.1),
+                format!("{:?}", reference.1),
+                "solutions diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn map_decoder_with_stats_reports_the_batch() {
+        let badge = Badge4::new();
+        let pipeline = small_pipeline(catalog::full_catalog(&badge));
+        let (_, solutions, stats) = pipeline.map_decoder_with_stats();
+        assert!(stats.jobs >= solutions.len());
+        assert!(stats.jobs > 0);
+        assert!(stats.workers >= 1);
+        assert!(stats.cache_misses() > 0, "first batch must compute bases");
+        // Stats are per batch: a repeat run reports hits only.
+        let (_, _, stats_again) = pipeline.map_decoder_with_stats();
+        assert_eq!(stats_again.cache_misses(), 0);
+        assert!(stats_again.cache_hits() > 0);
     }
 
     #[test]

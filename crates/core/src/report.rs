@@ -1,5 +1,7 @@
-//! Renderers for the paper's tables and figures.
+//! Renderers for the paper's tables and figures, plus the batch engine's
+//! run report.
 
+use symmap_engine::EngineStats;
 use symmap_libchar::catalog::{self, names};
 use symmap_mp3::imdct;
 use symmap_platform::machine::Badge4;
@@ -129,6 +131,37 @@ pub fn render_table6(versions: &[CodeVersion]) -> String {
     out
 }
 
+/// The batch engine's run report: job volume, worker scheduling and the
+/// shared Gröbner cache's per-shard activity for one mapping batch.
+pub fn render_engine_stats(stats: &EngineStats) -> String {
+    let mut out = format!(
+        "Batch engine: {} jobs on {} workers ({} steals) in {:.3} ms\n",
+        stats.jobs,
+        stats.workers,
+        stats.steals,
+        stats.wall.as_secs_f64() * 1e3,
+    );
+    out.push_str(&format!(
+        "  cache: {} hits / {} misses / {} evictions, {} bases resident in {} shards\n",
+        stats.cache_hits(),
+        stats.cache_misses(),
+        stats.cache_evictions(),
+        stats.cache_len(),
+        stats.cache_shards.len(),
+    ));
+    for (i, shard) in stats.cache_shards.iter().enumerate() {
+        // Shards untouched by the batch (and currently empty) add no signal.
+        if shard.hits + shard.misses + shard.evictions + shard.len == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "    shard {i}: {:>5} hits {:>5} misses {:>4} evictions {:>5} resident\n",
+            shard.hits, shard.misses, shard.evictions, shard.len
+        ));
+    }
+    out
+}
+
 /// The DVFS headroom argument of §4/§5: how much faster than real time the
 /// decoder runs and how much additional energy scaling recovers.
 pub fn render_dvfs(version: &CodeVersion, frames: usize, badge: &Badge4) -> String {
@@ -190,6 +223,21 @@ mod tests {
         assert!(s.contains("horner"));
         // The simplify example's answer from the paper.
         assert!(s.contains("x*y^2*p") || s.contains("y^2*x*p"), "{s}");
+    }
+
+    #[test]
+    fn engine_stats_render() {
+        let badge = Badge4::new();
+        let pipeline =
+            OptimizationPipeline::new(badge.clone(), full_catalog(&badge)).with_stream_frames(1);
+        let (_, solutions, stats) = pipeline.map_decoder_with_stats();
+        assert!(stats.jobs > 0);
+        assert!(stats.jobs >= solutions.len());
+        let rendered = render_engine_stats(&stats);
+        assert!(rendered.contains("Batch engine:"), "{rendered}");
+        assert!(rendered.contains(&format!("{} jobs", stats.jobs)));
+        assert!(rendered.contains("misses"));
+        assert!(rendered.contains("shard"), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! The [`MappingEngine`]: deterministic parallel execution of mapping jobs.
+//!
+//! A [`MapJob`] is one library-mapping problem — target polynomial, library,
+//! mapper configuration. The engine runs a batch of jobs over the
+//! work-stealing pool ([`crate::pool`]) while every worker prices its
+//! side-relation subsets through one shared, lock-striped
+//! [`SharedGroebnerCache`], and returns the outcomes **by job index** plus an
+//! [`EngineStats`] report.
+//!
+//! # Determinism
+//!
+//! Each job is a pure function of its `(target, library, config)` inputs, so
+//! the outcome vector is byte-identical at any worker count and across
+//! repeated runs. Two scheduling-sensitive side channels are closed
+//! explicitly:
+//!
+//! * **Variable interning.** The process-wide [`Var`] interner assigns
+//!   indices in first-intern order, and monomials store exponents densely by
+//!   that index — so if *worker threads* raced to intern a library's output
+//!   symbols, the assignment (and with it `Poly::vars()` discovery order and
+//!   the default elimination orders built from it) could vary run to run.
+//!   [`MappingEngine::run`] therefore pre-interns every job's output symbols
+//!   on the calling thread, in job order, before any worker starts. (Targets
+//!   and library polynomials are interned by construction.)
+//! * **Cache effects.** Scheduling changes which lookup *computes* a basis
+//!   and which one hits, and what the bounded cache evicts — i.e. cache
+//!   counters and timing — but a memoized basis is a pure function of its
+//!   key, so cached values (and thus solutions) never vary.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use symmap_algebra::groebner::{CacheConfig, CacheShardStats, SharedGroebnerCache};
+use symmap_algebra::poly::Poly;
+use symmap_algebra::var::Var;
+use symmap_libchar::Library;
+
+use crate::decompose::{Mapper, MapperConfig};
+use crate::error::CoreError;
+use crate::mapping::MappingSolution;
+use crate::pool;
+
+/// Sizing of the batch engine: worker threads and shared-cache geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads per batch. `1` reproduces the historic sequential
+    /// mapper exactly (jobs run in index order on the calling thread); any
+    /// other count produces byte-identical output, faster.
+    pub workers: usize,
+    /// Lock shards of the shared Gröbner cache.
+    pub cache_shards: usize,
+    /// Bounded capacity (in memoized bases) of the shared Gröbner cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    /// One worker — the sequential path — unless the `SYMMAP_TEST_WORKERS`
+    /// environment variable overrides it (CI sets it to 4 so the whole test
+    /// suite exercises the parallel path; output is identical either way).
+    fn default() -> Self {
+        let cache = CacheConfig::default();
+        EngineConfig {
+            workers: workers_from_env().unwrap_or(1),
+            cache_shards: cache.shards,
+            cache_capacity: cache.capacity,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The cache geometry part of this configuration.
+    pub fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            shards: self.cache_shards,
+            capacity: self.cache_capacity,
+        }
+    }
+}
+
+fn workers_from_env() -> Option<usize> {
+    std::env::var("SYMMAP_TEST_WORKERS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&w| w >= 1)
+}
+
+/// One library-mapping problem in a batch.
+#[derive(Debug, Clone)]
+pub struct MapJob {
+    /// Caller's identifier for the job (e.g. the profiled function name);
+    /// carried through to make outcomes self-describing.
+    pub label: String,
+    /// The target polynomial to map.
+    pub target: Poly,
+    /// The library to map against (shared, not cloned, across jobs).
+    pub library: Arc<Library>,
+    /// The mapper configuration for this job.
+    pub config: MapperConfig,
+}
+
+impl MapJob {
+    /// Creates a job.
+    pub fn new(
+        label: impl Into<String>,
+        target: Poly,
+        library: Arc<Library>,
+        config: MapperConfig,
+    ) -> Self {
+        MapJob {
+            label: label.into(),
+            target,
+            library,
+            config,
+        }
+    }
+}
+
+/// What one batch run did: volume, scheduling and cache activity.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Worker threads used (clamped to the job count).
+    pub workers: usize,
+    /// Jobs executed by a worker other than the one they were dealt to
+    /// (scheduling-dependent at `workers > 1`).
+    pub steals: usize,
+    /// Wall time of the batch, including result collection.
+    pub wall: Duration,
+    /// Per-shard cache counters over this batch's run (`len` is the shard's
+    /// current resident count). The counters are global to the shared cache,
+    /// so when several engines share one cache and run batches
+    /// *concurrently*, a batch's deltas include the concurrent batches'
+    /// activity; with one batch in flight at a time (how every in-repo
+    /// consumer runs) they are exactly this batch's.
+    pub cache_shards: Vec<CacheShardStats>,
+}
+
+impl EngineStats {
+    /// Cache lookups answered from the shared cache during this batch.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_shards.iter().map(|s| s.hits).sum()
+    }
+
+    /// Cache lookups that computed a fresh basis during this batch.
+    pub fn cache_misses(&self) -> usize {
+        self.cache_shards.iter().map(|s| s.misses).sum()
+    }
+
+    /// Cache entries evicted by the capacity bound during this batch.
+    pub fn cache_evictions(&self) -> usize {
+        self.cache_shards.iter().map(|s| s.evictions).sum()
+    }
+
+    /// Bases resident in the shared cache after the batch.
+    pub fn cache_len(&self) -> usize {
+        self.cache_shards.iter().map(|s| s.len).sum()
+    }
+}
+
+/// Outcomes of a batch, in job order, plus the run's statistics.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// One outcome per job, at the job's index in the submitted batch.
+    pub outcomes: Vec<Result<MappingSolution, CoreError>>,
+    /// Scheduling and cache statistics of the run.
+    pub stats: EngineStats,
+}
+
+impl BatchResult {
+    /// The successful solutions, in job order (failed jobs skipped).
+    pub fn solutions(&self) -> impl Iterator<Item = &MappingSolution> + '_ {
+        self.outcomes.iter().filter_map(|o| o.as_ref().ok())
+    }
+}
+
+/// The batch-mapping service: a worker pool plus one shared Gröbner cache.
+///
+/// Cloning an engine shares its cache (the clone is a second handle onto the
+/// same memo, exactly like the former `Rc`-shared pipeline cache — now
+/// `Arc`-shared and thread-safe).
+#[derive(Debug, Clone)]
+pub struct MappingEngine {
+    config: EngineConfig,
+    cache: Arc<SharedGroebnerCache>,
+}
+
+/// Compile-time guard: everything a worker thread touches must cross the
+/// spawn boundary.
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+    assert_send_sync::<MappingEngine>();
+    assert_send_sync::<MapJob>();
+    assert_send_sync::<Mapper>();
+    assert_send::<MappingSolution>();
+    assert_send::<CoreError>();
+}
+
+impl MappingEngine {
+    /// Creates an engine with a fresh cache sized by `config`.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = Arc::new(SharedGroebnerCache::with_config(config.cache_config()));
+        MappingEngine { config, cache }
+    }
+
+    /// Creates an engine that shares an existing cache (used to pool bases
+    /// across several engines or pipelines; `config`'s cache geometry is
+    /// ignored in favour of the cache's own).
+    pub fn with_shared_cache(config: EngineConfig, cache: Arc<SharedGroebnerCache>) -> Self {
+        MappingEngine { config, cache }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The shared Gröbner cache (counters are cumulative over the engine's
+    /// lifetime; [`EngineStats`] reports per-batch deltas).
+    pub fn cache(&self) -> &Arc<SharedGroebnerCache> {
+        &self.cache
+    }
+
+    /// Runs a batch of jobs, returning outcomes by job index.
+    ///
+    /// Byte-identical output at any [`EngineConfig::workers`] value; see the
+    /// module docs for the determinism argument.
+    pub fn run(&self, jobs: &[MapJob]) -> BatchResult {
+        let start = Instant::now();
+        let before = self.cache.shard_stats();
+
+        // Close the interner side channel: intern every output symbol on this
+        // thread, in job order, before any worker can race to it.
+        for job in jobs {
+            for element in job.library.iter() {
+                Var::new(element.output_symbol());
+            }
+        }
+
+        let (outcomes, pool_stats) = pool::run_batch(jobs.len(), self.config.workers, |i| {
+            let job = &jobs[i];
+            Mapper::with_shared_cache(&job.library, job.config.clone(), Arc::clone(&self.cache))
+                .map_polynomial(&job.target)
+        });
+
+        let cache_shards = self
+            .cache
+            .shard_stats()
+            .iter()
+            .zip(&before)
+            .map(|(after, before)| after.delta_since(before))
+            .collect();
+        BatchResult {
+            outcomes,
+            stats: EngineStats {
+                jobs: jobs.len(),
+                workers: pool_stats.workers,
+                steals: pool_stats.steals,
+                wall: start.elapsed(),
+                cache_shards,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmap_libchar::LibraryElement;
+
+    fn p(s: &str) -> Poly {
+        Poly::parse(s).unwrap()
+    }
+
+    fn toy_library() -> Arc<Library> {
+        let mut lib = Library::new("t");
+        for (name, symbol, poly, cycles) in [
+            ("sum", "s", "x + y", 3),
+            ("diff", "d", "x - y", 3),
+            ("prod", "q", "x*y", 5),
+            ("sq_x", "sx", "x^2", 4),
+        ] {
+            lib.push(
+                LibraryElement::builder(name, symbol)
+                    .polynomial(p(poly))
+                    .cycles(cycles)
+                    .energy_nj(cycles as f64)
+                    .accuracy(1e-9)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        Arc::new(lib)
+    }
+
+    fn toy_jobs(library: &Arc<Library>) -> Vec<MapJob> {
+        [
+            "x^2 + 2*x*y + y^2",
+            "x^2 - y^2",
+            "x^2 - y^2 + x*y",
+            "x^3*y",
+            "u^3 + u",
+            "x^4 - y^4 + x^2*y^2",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            MapJob::new(
+                format!("job-{i}"),
+                p(s),
+                Arc::clone(library),
+                MapperConfig::default(),
+            )
+        })
+        .collect()
+    }
+
+    fn config(workers: usize) -> EngineConfig {
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn outcomes_are_indexed_by_job_and_identical_across_worker_counts() {
+        let library = toy_library();
+        let jobs = toy_jobs(&library);
+        let reference = MappingEngine::new(config(1)).run(&jobs);
+        // Job 4 has no candidate elements; everything else succeeds.
+        assert!(matches!(
+            reference.outcomes[4],
+            Err(CoreError::NoCandidateElements { .. })
+        ));
+        assert_eq!(reference.outcomes.len(), jobs.len());
+        for workers in [2, 3, 8] {
+            let batch = MappingEngine::new(config(workers)).run(&jobs);
+            assert_eq!(
+                format!("{:?}", batch.outcomes),
+                format!("{:?}", reference.outcomes),
+                "outcomes diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_reports_stats_and_shares_the_cache_across_jobs() {
+        let library = toy_library();
+        let jobs = toy_jobs(&library);
+        let engine = MappingEngine::new(config(1));
+        let batch = engine.run(&jobs);
+        assert_eq!(batch.stats.jobs, jobs.len());
+        assert_eq!(batch.stats.workers, 1);
+        assert_eq!(batch.stats.steals, 0);
+        assert!(batch.stats.cache_misses() > 0);
+        assert!(
+            batch.stats.cache_hits() > 0,
+            "jobs over the same library must share side-relation bases"
+        );
+        assert_eq!(batch.stats.cache_len(), engine.cache().len());
+        assert_eq!(batch.stats.cache_shards.len(), engine.cache().shard_count());
+        // A repeated batch is answered from the cache: no new bases.
+        let again = engine.run(&jobs);
+        assert_eq!(again.stats.cache_misses(), 0);
+        assert_eq!(
+            format!("{:?}", again.outcomes),
+            format!("{:?}", batch.outcomes)
+        );
+    }
+
+    #[test]
+    fn solutions_iterator_skips_failures_in_job_order() {
+        let library = toy_library();
+        let jobs = toy_jobs(&library);
+        let batch = MappingEngine::new(config(2)).run(&jobs);
+        let labels: Vec<usize> = batch
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_ok())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(batch.solutions().count(), labels.len());
+        assert_eq!(labels, vec![0, 1, 2, 3, 5]);
+        for solution in batch.solutions() {
+            assert!(solution.verify());
+        }
+    }
+
+    #[test]
+    fn shared_cache_engines_pool_their_bases() {
+        let library = toy_library();
+        let jobs = toy_jobs(&library);
+        let first = MappingEngine::new(config(1));
+        first.run(&jobs);
+        let second = MappingEngine::with_shared_cache(config(2), Arc::clone(first.cache()));
+        let batch = second.run(&jobs);
+        assert_eq!(
+            batch.stats.cache_misses(),
+            0,
+            "second engine recomputed bases the shared cache already holds"
+        );
+    }
+
+    #[test]
+    fn default_config_reads_the_test_workers_env() {
+        // Not set in this test process unless CI exported it; both shapes are
+        // valid — just assert the parse contract.
+        match std::env::var("SYMMAP_TEST_WORKERS") {
+            Ok(v) => {
+                let parsed: usize = v.trim().parse().unwrap_or(1);
+                assert_eq!(EngineConfig::default().workers, parsed.max(1));
+            }
+            Err(_) => assert_eq!(EngineConfig::default().workers, 1),
+        }
+    }
+}

@@ -10,16 +10,17 @@
 //! guide which elements are tried first — exactly the roles the paper assigns
 //! them.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use symmap_algebra::factor::factor;
-use symmap_algebra::groebner::{GroebnerCache, GroebnerOptions};
+use symmap_algebra::groebner::{GroebnerOptions, SharedGroebnerCache};
 use symmap_algebra::horner::horner_form_auto;
 use symmap_algebra::poly::Poly;
 use symmap_algebra::simplify::{default_var_order, simplify_modulo_cached, SideRelations};
 use symmap_algebra::var::VarSet;
 use symmap_libchar::{Library, LibraryElement};
 
+use crate::batch::EngineConfig;
 use crate::cost::{combined_accuracy, CostEstimate, CostEvaluator};
 use crate::error::CoreError;
 use crate::mapping::MappingSolution;
@@ -46,6 +47,12 @@ pub struct MapperConfig {
     /// Options for the Gröbner-basis computations behind every candidate
     /// pricing (iteration bound, Buchberger criteria, pair-queue tiebreak).
     pub groebner: GroebnerOptions,
+    /// Batch-engine sizing (worker threads and shared-cache geometry) used
+    /// by consumers that fan mapping jobs out — the optimization pipeline
+    /// and [`MappingEngine`](crate::batch::MappingEngine). A single
+    /// `map_polynomial` call never spawns threads; `workers` only governs
+    /// how many jobs of a *batch* run concurrently.
+    pub engine: EngineConfig,
 }
 
 impl Default for MapperConfig {
@@ -58,37 +65,45 @@ impl Default for MapperConfig {
             use_guidance: true,
             float_residual: true,
             groebner: GroebnerOptions::default(),
+            engine: EngineConfig::default(),
         }
     }
 }
 
 /// The library mapper.
 ///
-/// Carries a [`GroebnerCache`] memoizing the basis of every side-relation
-/// set the search prices: the branch-and-bound explores subsets of library
-/// elements, and across targets (or repeated mapping calls) the same subset
-/// keeps reappearing — its basis is computed once and shared.
+/// Carries a [`SharedGroebnerCache`] memoizing the basis of every
+/// side-relation set the search prices: the branch-and-bound explores
+/// subsets of library elements, and across targets (or repeated mapping
+/// calls) the same subset keeps reappearing — its basis is computed once and
+/// shared. The cache is `Arc`-shared and thread-safe, so mappers running on
+/// different batch-engine workers pool their bases.
 #[derive(Debug, Clone)]
 pub struct Mapper {
     library: Library,
     config: MapperConfig,
     evaluator: CostEvaluator,
-    cache: Rc<GroebnerCache>,
+    cache: Arc<SharedGroebnerCache>,
 }
 
 impl Mapper {
-    /// Creates a mapper over a characterized library with a fresh basis cache.
+    /// Creates a mapper over a characterized library with a fresh basis
+    /// cache sized by the configuration's [`EngineConfig`].
     pub fn new(library: &Library, config: MapperConfig) -> Self {
-        Mapper::with_shared_cache(library, config, Rc::new(GroebnerCache::new()))
+        let cache = Arc::new(SharedGroebnerCache::with_config(
+            config.engine.cache_config(),
+        ));
+        Mapper::with_shared_cache(library, config, cache)
     }
 
     /// Creates a mapper that shares `cache` with other owners (the
-    /// optimization pipeline uses this so every `map_decoder` call reuses
-    /// the bases of earlier runs).
+    /// optimization pipeline and the batch engine use this so every
+    /// `map_decoder` call — on any worker thread — reuses the bases of
+    /// earlier runs).
     pub fn with_shared_cache(
         library: &Library,
         config: MapperConfig,
-        cache: Rc<GroebnerCache>,
+        cache: Arc<SharedGroebnerCache>,
     ) -> Self {
         Mapper {
             library: library.clone(),

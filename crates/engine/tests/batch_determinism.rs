@@ -1,0 +1,108 @@
+//! Property test of the batch engine: for random small job batches over a
+//! fixed library, parallel execution is byte-identical to sequential
+//! execution, and both match running each job through a standalone `Mapper`
+//! one at a time (the historic path).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use symmap_algebra::monomial::Monomial;
+use symmap_algebra::poly::Poly;
+use symmap_algebra::var::Var;
+use symmap_engine::{EngineConfig, MapJob, Mapper, MapperConfig, MappingEngine};
+use symmap_libchar::{Library, LibraryElement};
+use symmap_numeric::Rational;
+
+fn library() -> Arc<Library> {
+    let mut lib = Library::new("prop");
+    for (name, symbol, poly, cycles) in [
+        ("sum", "s", "x + y", 3_u64),
+        ("diff", "d", "x - y", 3),
+        ("prod", "q", "x*y", 5),
+        ("sq_x", "sx", "x^2", 4),
+        ("sq_z", "sz", "z^2", 4),
+    ] {
+        lib.push(
+            LibraryElement::builder(name, symbol)
+                .polynomial(Poly::parse(poly).unwrap())
+                .cycles(cycles)
+                .energy_nj(cycles as f64)
+                .accuracy(1e-9)
+                .build()
+                .unwrap(),
+        );
+    }
+    Arc::new(lib)
+}
+
+/// Builds a target polynomial from raw term tuples (exponents for x, y, z
+/// plus a small integer coefficient).
+fn target_from_terms(terms: &[(u32, u32, u32, i64)]) -> Poly {
+    Poly::from_terms(terms.iter().map(|&(ex, ey, ez, c)| {
+        (
+            Monomial::from_pairs(&[
+                (Var::new("x"), ex),
+                (Var::new("y"), ey),
+                (Var::new("z"), ez),
+            ]),
+            Rational::integer(c),
+        )
+    }))
+}
+
+fn engine(workers: usize) -> MappingEngine {
+    MappingEngine::new(EngineConfig {
+        workers,
+        ..EngineConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_batches_map_identically_at_any_worker_count(
+        raw_targets in proptest::collection::vec(
+            proptest::collection::vec((0u32..4, 0u32..4, 0u32..3, -4i64..5), 1..5),
+            1..8,
+        ),
+    ) {
+        let library = library();
+        let jobs: Vec<MapJob> = raw_targets
+            .iter()
+            .enumerate()
+            .map(|(i, terms)| {
+                MapJob::new(
+                    format!("prop-{i}"),
+                    target_from_terms(terms),
+                    Arc::clone(&library),
+                    MapperConfig::default(),
+                )
+            })
+            .collect();
+
+        let sequential = engine(1).run(&jobs);
+        let parallel = engine(3).run(&jobs);
+        prop_assert_eq!(
+            format!("{:?}", parallel.outcomes),
+            format!("{:?}", sequential.outcomes)
+        );
+
+        // Both must equal the historic path: a standalone Mapper per job
+        // (fresh cache, same configuration), run on the calling thread.
+        for (job, outcome) in jobs.iter().zip(&sequential.outcomes) {
+            let standalone = Mapper::new(&job.library, job.config.clone())
+                .map_polynomial(&job.target);
+            prop_assert_eq!(
+                format!("{:?}", outcome),
+                format!("{:?}", &standalone),
+                "job {} diverged from the standalone mapper", job.label
+            );
+        }
+
+        // Solutions that exist are valid rewrites.
+        for solution in sequential.solutions() {
+            prop_assert!(solution.verify());
+        }
+    }
+}

@@ -13,10 +13,12 @@
 //! 2. **Target code identification** ([`core::identify`], [`ir`]) — critical
 //!    procedures are found by profiling and formulated as multivariate
 //!    polynomials using compiler transformations and series approximations.
-//! 3. **Library mapping** ([`core::decompose`]) — a branch-and-bound search
+//! 3. **Library mapping** ([`engine`]) — a branch-and-bound search
 //!    decomposes the target polynomials into library elements using
 //!    *simplification modulo side relations* on top of Gröbner bases
-//!    ([`algebra`]).
+//!    ([`algebra`]); the [`engine::MappingEngine`] batch service fans
+//!    independent mapping jobs out over a deterministic work-stealing
+//!    worker pool sharing one sharded Gröbner cache.
 //!
 //! The evaluation workload of the paper, an MP3 audio decoder, is reproduced in
 //! [`mp3`], together with the Linux-math / in-house fixed-point / IPP-like
@@ -53,6 +55,7 @@
 
 pub use symmap_algebra as algebra;
 pub use symmap_core as core;
+pub use symmap_engine as engine;
 pub use symmap_ir as ir;
 pub use symmap_libchar as libchar;
 pub use symmap_mp3 as mp3;
@@ -62,10 +65,9 @@ pub use symmap_platform as platform;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use symmap_algebra::{poly::Poly, simplify::SideRelations, var::VarSet};
-    pub use symmap_core::{
-        decompose::{Mapper, MapperConfig},
-        mapping::MappingSolution,
-        pipeline::OptimizationPipeline,
+    pub use symmap_core::pipeline::OptimizationPipeline;
+    pub use symmap_engine::{
+        EngineConfig, MapJob, Mapper, MapperConfig, MappingEngine, MappingSolution,
     };
     pub use symmap_libchar::{
         element::{LibraryElement, NumericFormat},
