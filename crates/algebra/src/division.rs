@@ -12,6 +12,7 @@ use symmap_numeric::Rational;
 use crate::monomial::Monomial;
 use crate::ordering::MonomialOrder;
 use crate::poly::Poly;
+use crate::ring::Ring;
 
 /// The result of dividing a polynomial by a list of divisors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,11 +116,30 @@ pub fn divide(f: &Poly, divisors: &[Poly], order: &MonomialOrder) -> Division {
 /// Returns only the remainder of [`divide`] — the *normal form* of `f` modulo
 /// the divisor set.
 ///
-/// Borrows the divisors and resolves only their leading terms up front; use
-/// [`prepared_normal_form`] when the same divisor set is reduced against
-/// repeatedly (the Gröbner engine stores its basis pre-prepared).
+/// Runs in **ring-local coordinates**: a [`Ring`] spanning the divisors and
+/// the dividend is built once, everything is localized, the division loop
+/// runs over dense `0..n` indices (with exact dense support masks for rings
+/// of ≤ 64 variables), and the remainder is globalized on the way out —
+/// byte-identical to dividing in global coordinates, because localization
+/// preserves every order comparison and divisibility test. When the ring
+/// coincides with the interner prefix the conversion is skipped.
+///
+/// [`divide`] itself stays in global coordinates (callers want the
+/// quotients against *their* divisor polynomials); remainder-only callers —
+/// the Gröbner engine, [`crate::groebner::GroebnerBasis::reduce`], the
+/// mapper — should come through here.
 pub fn normal_form(f: &Poly, divisors: &[Poly], order: &MonomialOrder) -> Poly {
-    divide(f, divisors, order).remainder
+    let ring = Ring::spanning(divisors.iter().chain(std::iter::once(f)));
+    if ring.is_identity() {
+        return divide(f, divisors, order).remainder;
+    }
+    let lorder = order.localized(&ring);
+    let prepared: Vec<PreparedDivisor> = divisors
+        .iter()
+        .filter_map(|g| PreparedDivisor::new(ring.localize_poly(g), &lorder))
+        .collect();
+    let lf = ring.localize_poly(f);
+    ring.globalize_poly(&prepared_normal_form(&lf, &prepared, &lorder, None))
 }
 
 /// Normal form of `f` modulo already-prepared divisors — the Gröbner engine's

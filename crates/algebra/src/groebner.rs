@@ -25,15 +25,24 @@
 //! * **Clone-free auto-reduction.** Inter-reduction reduces each element
 //!   modulo the others *in place* via an index-skipping division, instead of
 //!   deep-cloning the rest of the basis for every tail reduction.
+//! * **Ring-local coordinates.** [`buchberger`] rewrites its generators and
+//!   order through a per-ideal [`Ring`] into dense local indices `0..n`
+//!   before the engine runs, so every monomial operation costs the ideal's
+//!   variable count, never the process-wide interner width; conversions are
+//!   confined to the entry/exit boundary and the output is byte-identical to
+//!   the global-coordinate path (kept as [`buchberger_unringed`] for the
+//!   differential tests and the `wide_interner` bench).
 //! * **Shared memoization.** [`SharedGroebnerCache`] memoizes whole bases by
 //!   `(generators, order, options)` behind lock-striped shards with a bounded
 //!   FIFO capacity, so the mapper's branch-and-bound — and the batch engine's
-//!   worker threads — compute each side-relation basis once per process.
+//!   worker threads — compute each side-relation basis once per process. A
+//!   second, ring-local layer shares one core computation between
+//!   α-equivalent requests (same ideal up to variable renaming).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -41,6 +50,7 @@ use crate::division::{normal_form, prepared_normal_form, PreparedDivisor};
 use crate::monomial::Monomial;
 use crate::ordering::MonomialOrder;
 use crate::poly::Poly;
+use crate::ring::Ring;
 
 /// Options controlling the Buchberger computation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -95,10 +105,26 @@ pub enum Membership {
 }
 
 /// A Gröbner basis together with the order it was computed under.
+///
+/// The basis is held in the **ring-local coordinates** of its computation
+/// and globalized lazily: [`GroebnerBasis::reduce`] (and everything built on
+/// it — membership, the mapper's pricing) works directly on the local
+/// polynomials, so the dominant consumers never materialize global exponent
+/// vectors at all. [`GroebnerBasis::polys`] globalizes on first access and
+/// memoizes the result.
 #[derive(Debug, Clone)]
 pub struct GroebnerBasis {
-    /// The (reduced, monic) basis polynomials.
-    pub polys: Vec<Poly>,
+    /// Ring of the computation; `None` when `local_polys` already are in
+    /// global coordinates (the [`buchberger_unringed`] oracle path).
+    ring: Option<Ring>,
+    /// The (reduced, monic) basis in the computation's coordinates.
+    local_polys: Arc<[Poly]>,
+    /// Lazily globalized basis (untouched when the ring is the identity).
+    global: OnceLock<Vec<Poly>>,
+    /// Lazily prepared reduction state for [`GroebnerBasis::reduce`]'s
+    /// local fast path: the localized order plus one [`PreparedDivisor`]
+    /// per basis element, built once per basis instead of per call.
+    local_prepared: OnceLock<(MonomialOrder, Vec<PreparedDivisor>)>,
     /// The monomial order of the computation.
     pub order: MonomialOrder,
     /// Whether the computation finished before hitting the iteration bound.
@@ -112,16 +138,57 @@ pub struct GroebnerBasis {
 }
 
 impl GroebnerBasis {
+    /// The (reduced, monic) basis polynomials in **global** coordinates,
+    /// globalized from the ring-local computation on first access and
+    /// memoized. Callers that only reduce modulo the basis never pay this —
+    /// [`GroebnerBasis::reduce`] stays in local coordinates.
+    pub fn polys(&self) -> &[Poly] {
+        match &self.ring {
+            None => &self.local_polys,
+            Some(ring) if ring.is_identity() => &self.local_polys,
+            Some(ring) => self.global.get_or_init(|| {
+                self.local_polys
+                    .iter()
+                    .map(|p| ring.globalize_poly(p))
+                    .collect()
+            }),
+        }
+    }
+
     /// Normal form of `f` modulo this basis.
     ///
     /// Valid (`f − reduce(f)` lies in the ideal) even when the basis is
     /// incomplete; canonical only when [`GroebnerBasis::complete`] is true.
     ///
-    /// Divisors are prepared (leading terms + var masks) once per call, so
-    /// the division loop never rescans for leading monomials; no state is
-    /// cached across calls, keeping the public `polys` field freely mutable.
+    /// When `f` lives inside the basis ring (the mapper's standard case —
+    /// targets share the side relations' variables), the whole reduction
+    /// runs in ring-local coordinates: divisors are prepared from the local
+    /// basis, only the (small) remainder is globalized, and no wide global
+    /// exponent vector is ever built. A target with variables outside the
+    /// ring falls back to [`normal_form`], which spans a joint ring over
+    /// basis and target; both paths are byte-identical to global division.
     pub fn reduce(&self, f: &Poly) -> Poly {
-        normal_form(f, &self.polys, &self.order)
+        let Some(ring) = &self.ring else {
+            return normal_form(f, &self.local_polys, &self.order);
+        };
+        if ring.is_identity() {
+            return normal_form(f, &self.local_polys, &self.order);
+        }
+        match ring.try_localize_poly(f) {
+            Some(lf) => {
+                let (lorder, prepared) = self.local_prepared.get_or_init(|| {
+                    let lorder = self.order.localized(ring);
+                    let prepared = self
+                        .local_polys
+                        .iter()
+                        .filter_map(|g| PreparedDivisor::new(g.clone(), &lorder))
+                        .collect();
+                    (lorder, prepared)
+                });
+                ring.globalize_poly(&prepared_normal_form(&lf, prepared, lorder, None))
+            }
+            None => normal_form(f, self.polys(), &self.order),
+        }
     }
 
     /// Three-valued ideal-membership test; see [`Membership`] for the exact
@@ -303,24 +370,37 @@ fn ordered(a: usize, b: usize) -> (usize, usize) {
     }
 }
 
-/// Computes a Gröbner basis of the ideal generated by `generators` under
-/// `order` using Buchberger's algorithm with the heap pair queue and the
-/// configured criteria, followed by auto-reduction to the unique reduced
-/// basis (up to scaling; all elements are returned monic).
-pub fn buchberger(
+/// Basis data in whatever coordinate system the computation ran in — the
+/// ring-agnostic core result, wrapped into a [`GroebnerBasis`] (with the
+/// caller's order and global coordinates) at the ring boundary. Also the
+/// value memoized by the cache's ring-local (α-equivalence) layer.
+#[derive(Debug)]
+struct CoreBasis {
+    /// `Arc`-shared so α-equivalent cache keys reference one copy instead of
+    /// each deep-cloning the basis (see `SharedGroebnerCache::basis`).
+    polys: Arc<[Poly]>,
+    complete: bool,
+    reductions: usize,
+    skipped_coprime: usize,
+    skipped_chain: usize,
+}
+
+/// The Buchberger engine proper. Coordinate-agnostic: generators and order
+/// merely have to agree on a coordinate system; [`buchberger`] feeds it
+/// ring-local data, the [`buchberger_unringed`] oracle feeds it global data.
+fn buchberger_core(
     generators: &[Poly],
     order: &MonomialOrder,
     options: &GroebnerOptions,
-) -> GroebnerBasis {
+) -> CoreBasis {
     let basis: Vec<PreparedDivisor> = generators
         .iter()
         .filter(|g| !g.is_zero())
         .map(|g| PreparedDivisor::new(g.monic(order), order).expect("nonzero generator"))
         .collect();
     if basis.is_empty() {
-        return GroebnerBasis {
-            polys: Vec::new(),
-            order: order.clone(),
+        return CoreBasis {
+            polys: Vec::new().into(),
             complete: true,
             reductions: 0,
             skipped_coprime: 0,
@@ -374,13 +454,103 @@ pub fn buchberger(
     }
 
     let polys = auto_reduce(engine.basis, order);
-    GroebnerBasis {
-        polys,
-        order: order.clone(),
+    CoreBasis {
+        polys: polys.into(),
         complete,
         reductions,
         skipped_coprime: engine.skipped_coprime,
         skipped_chain: engine.skipped_chain,
+    }
+}
+
+/// The ring-local canonical form of a basis request: the spanning [`Ring`]
+/// plus the generators and order rewritten into its local coordinates. Two
+/// requests with the same localized form are α-equivalent (identical up to a
+/// variable renaming) and have α-equivalent bases, which is what lets the
+/// cache share one core computation between them.
+fn ring_localized(generators: &[Poly], order: &MonomialOrder) -> (Ring, Vec<Poly>, MonomialOrder) {
+    let ring = Ring::spanning(generators);
+    let lorder = order.localized(&ring);
+    let lgens = if ring.is_identity() {
+        generators.to_vec()
+    } else {
+        generators.iter().map(|g| ring.localize_poly(g)).collect()
+    };
+    (ring, lgens, lorder)
+}
+
+/// Wraps a core result (in `ring`'s local coordinates) into a lazily
+/// globalizing [`GroebnerBasis`] under the caller's order.
+fn basis_from_core(
+    local_polys: Arc<[Poly]>,
+    core: &CoreBasis,
+    ring: Ring,
+    order: &MonomialOrder,
+) -> GroebnerBasis {
+    GroebnerBasis {
+        ring: Some(ring),
+        local_polys,
+        global: OnceLock::new(),
+        local_prepared: OnceLock::new(),
+        order: order.clone(),
+        complete: core.complete,
+        reductions: core.reductions,
+        skipped_coprime: core.skipped_coprime,
+        skipped_chain: core.skipped_chain,
+    }
+}
+
+/// Computes a Gröbner basis of the ideal generated by `generators` under
+/// `order` using Buchberger's algorithm with the heap pair queue and the
+/// configured criteria, followed by auto-reduction to the unique reduced
+/// basis (up to scaling; all elements are returned monic).
+///
+/// The computation runs in **ring-local coordinates**: a [`Ring`] spanning
+/// the generators is built once, generators and order are rewritten into its
+/// dense `0..n` indices, and every monomial operation inside the engine then
+/// costs `O(n)` — the ideal's variable count — independent of how many
+/// symbols the process-wide interner holds. The result is globalized at exit
+/// and is byte-identical to the global-coordinate path (differential-tested
+/// against [`buchberger_unringed`]); when the ring already coincides with
+/// the interner prefix (the mapper's intern-early profile) the conversions
+/// are skipped entirely.
+pub fn buchberger(
+    generators: &[Poly],
+    order: &MonomialOrder,
+    options: &GroebnerOptions,
+) -> GroebnerBasis {
+    let (ring, lgens, lorder) = ring_localized(generators, order);
+    let core = buchberger_core(&lgens, &lorder, options);
+    basis_from_core(Arc::clone(&core.polys), &core, ring, order)
+}
+
+/// [`buchberger`] on **global** interner coordinates, with no ring boundary —
+/// the pre-ring code path, kept callable on purpose:
+///
+/// * the differential tests (`crates/bench/tests/ring_differential.rs`, the
+///   proptests below) assert its output is byte-identical to [`buchberger`]'s
+///   on every workload, which is the correctness argument for the ring layer;
+/// * the `wide_interner` bench measures it to demonstrate the
+///   interner-width-proportional cost the ring layer removes.
+///
+/// Never use it for real work: on late-interned variables every monomial
+/// operation pays the full interner width.
+pub fn buchberger_unringed(
+    generators: &[Poly],
+    order: &MonomialOrder,
+    options: &GroebnerOptions,
+) -> GroebnerBasis {
+    let core = buchberger_core(generators, order, options);
+    GroebnerBasis {
+        ring: None,
+        local_polys: core.polys,
+        global: OnceLock::new(),
+        local_prepared: OnceLock::new(),
+        order: order.clone(),
+        complete: core.complete,
+        reductions: core.reductions,
+        skipped_coprime: core.skipped_coprime,
+        skipped_chain: core.skipped_chain,
     }
 }
 
@@ -491,6 +661,34 @@ type OptionsMap = HashMap<GroebnerOptions, GeneratorMap>;
 type GeneratorMap = HashMap<Vec<Poly>, Arc<GroebnerBasis>>;
 /// Owned lookup key, kept in insertion order for eviction.
 type CacheKey = (MonomialOrder, GroebnerOptions, Vec<Poly>);
+/// Key of the ring-local (α-equivalence) layer: the localized order and
+/// generators of [`ring_localized`] plus the options. Two global keys that
+/// differ only by a variable renaming (or by order entries outside the
+/// ideal's ring — e.g. target-only variables in the mapper's default orders)
+/// collapse onto one local key.
+type LocalKey = (MonomialOrder, GroebnerOptions, Vec<Poly>);
+
+/// One lock-striped slice of the ring-local layer: localized key → core
+/// basis (in local coordinates), FIFO-bounded like the global layer. Its
+/// `stats.hits` are the *α-hits*: lookups whose global key was never seen
+/// but whose ring-local form was.
+#[derive(Debug, Default)]
+struct LocalShard {
+    entries: HashMap<LocalKey, Arc<CoreBasis>>,
+    queue: VecDeque<LocalKey>,
+    stats: CacheShardStats,
+}
+
+impl LocalShard {
+    fn evict_oldest(&mut self) {
+        if let Some(key) = self.queue.pop_front() {
+            if self.entries.remove(&key).is_some() {
+                self.stats.len -= 1;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
 
 /// One lock-striped slice of the cache.
 #[derive(Debug, Default)]
@@ -569,6 +767,10 @@ impl CacheShard {
 #[derive(Debug)]
 pub struct SharedGroebnerCache {
     shards: Box<[Mutex<CacheShard>]>,
+    /// The ring-local (α-equivalence) layer, striped independently of the
+    /// global layer because α-equivalent global keys hash to unrelated
+    /// global shards.
+    local_shards: Box<[Mutex<LocalShard>]>,
     per_shard_capacity: usize,
 }
 
@@ -606,6 +808,9 @@ impl SharedGroebnerCache {
             shards: (0..shards)
                 .map(|_| Mutex::new(CacheShard::default()))
                 .collect(),
+            local_shards: (0..shards)
+                .map(|_| Mutex::new(LocalShard::default()))
+                .collect(),
             per_shard_capacity,
         }
     }
@@ -626,8 +831,58 @@ impl SharedGroebnerCache {
         &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
     }
 
+    /// The ring-local shard a localized key lives in (same fixed-seed
+    /// hashing discipline as [`SharedGroebnerCache::shard_for`]).
+    fn local_shard_for(&self, key: &LocalKey) -> &Mutex<LocalShard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.local_shards[(hasher.finish() % self.local_shards.len() as u64) as usize]
+    }
+
+    /// Returns the memoized core basis of a ring-local canonical form,
+    /// computing and inserting it on first use. The compute happens outside
+    /// the shard lock; a lost key race adopts the winner's entry.
+    fn local_basis(&self, key: LocalKey, options: &GroebnerOptions) -> Arc<CoreBasis> {
+        let shard = self.local_shard_for(&key);
+        {
+            let mut locked = shard.lock();
+            if let Some(hit) = locked.entries.get(&key) {
+                let hit = Arc::clone(hit);
+                locked.stats.hits += 1;
+                return hit;
+            }
+            locked.stats.misses += 1;
+        }
+        let core = Arc::new(buchberger_core(&key.2, &key.0, options));
+        let mut locked = shard.lock();
+        let locked = &mut *locked;
+        if let Some(existing) = locked.entries.get(&key) {
+            return Arc::clone(existing);
+        }
+        locked.entries.insert(key.clone(), Arc::clone(&core));
+        locked.queue.push_back(key);
+        locked.stats.len += 1;
+        while locked.stats.len > self.per_shard_capacity {
+            locked.evict_oldest();
+        }
+        core
+    }
+
     /// Returns the (possibly cached) Gröbner basis of `generators` under
     /// `order` with `options`, computing and memoizing it on first use.
+    ///
+    /// Lookups go through two layers. The **global** layer is keyed by the
+    /// request verbatim — a hit is one pointer clone, exactly as before. A
+    /// global miss computes the request's ring-local canonical form
+    /// (generators and order rewritten through a spanning [`Ring`] into
+    /// dense local indices) and consults the **ring-local** layer, where
+    /// α-equivalent requests — same ideal shape under renamed variables, or
+    /// the same side-relation set reduced for targets with different
+    /// variable sets (whose default orders differ only outside the ideal's
+    /// ring) — share one memoized core computation; only the cheap
+    /// globalization is per-key. α-layer activity is reported separately
+    /// ([`SharedGroebnerCache::alpha_hits`]); global `hits`/`misses`
+    /// semantics are unchanged.
     pub fn basis(
         &self,
         generators: &[Poly],
@@ -644,8 +899,10 @@ impl SharedGroebnerCache {
             }
             locked.stats.misses += 1;
         }
-        // Compute outside the lock so other lookups on this shard proceed.
-        let gb = Arc::new(buchberger(generators, order, options));
+        // Resolve through the ring-local layer outside the global lock.
+        let (ring, lgens, lorder) = ring_localized(generators, order);
+        let core = self.local_basis((lorder, options.clone(), lgens), options);
+        let gb = Arc::new(basis_from_core(Arc::clone(&core.polys), &core, ring, order));
         let mut locked = shard.lock();
         let locked = &mut *locked;
         if let Some(existing) = locked.lookup(generators, order, options) {
@@ -708,12 +965,48 @@ impl SharedGroebnerCache {
     pub fn shard_stats(&self) -> Vec<CacheShardStats> {
         self.shards.iter().map(|s| s.lock().stats).collect()
     }
+
+    /// Lookups answered by the ring-local layer: the global key was new, but
+    /// an α-equivalent request had already computed the core basis (all
+    /// shards).
+    pub fn alpha_hits(&self) -> usize {
+        self.local_shards.iter().map(|s| s.lock().stats.hits).sum()
+    }
+
+    /// Ring-local canonical forms that had to run the Buchberger core (all
+    /// shards). Every global miss is either an α-hit or an α-miss.
+    pub fn alpha_misses(&self) -> usize {
+        self.local_shards
+            .iter()
+            .map(|s| s.lock().stats.misses)
+            .sum()
+    }
+
+    /// Entries evicted from the ring-local layer by the capacity bound.
+    pub fn alpha_evictions(&self) -> usize {
+        self.local_shards
+            .iter()
+            .map(|s| s.lock().stats.evictions)
+            .sum()
+    }
+
+    /// Distinct ring-local canonical forms currently memoized.
+    pub fn alpha_len(&self) -> usize {
+        self.local_shards.iter().map(|s| s.lock().stats.len).sum()
+    }
+
+    /// Point-in-time counters of every ring-local shard, in shard order
+    /// (`hits` are α-hits; see [`SharedGroebnerCache::alpha_hits`]).
+    pub fn alpha_shard_stats(&self) -> Vec<CacheShardStats> {
+        self.local_shards.iter().map(|s| s.lock().stats).collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::division::{normal_form, reduces_to_zero, s_polynomial};
+    use crate::var::Var;
     use proptest::prelude::*;
 
     fn p(s: &str) -> Poly {
@@ -849,17 +1142,17 @@ mod tests {
     fn empty_and_zero_generators() {
         let order = MonomialOrder::lex(&["x"]);
         let gb = groebner_basis(&[], &order);
-        assert!(gb.polys.is_empty());
+        assert!(gb.polys().is_empty());
         assert!(gb.complete);
         let gb = groebner_basis(&[Poly::zero()], &order);
-        assert!(gb.polys.is_empty());
+        assert!(gb.polys().is_empty());
     }
 
     #[test]
     fn single_generator_is_its_own_basis() {
         let order = MonomialOrder::lex(&["x", "y"]);
         let gb = groebner_basis(&[p("2*x^2 - 2*y")], &order);
-        assert_eq!(gb.polys, vec![p("x^2 - y")]);
+        assert_eq!(gb.polys(), vec![p("x^2 - y")]);
     }
 
     #[test]
@@ -870,12 +1163,12 @@ mod tests {
         let gb = groebner_basis(&[p("x^2 - y"), p("x^3 - z")], &order);
         assert!(gb.complete);
         let expected = [p("x^2 - y"), p("x*y - z"), p("x*z - y^2"), p("y^3 - z^2")];
-        assert_eq!(gb.polys.len(), expected.len());
+        assert_eq!(gb.polys().len(), expected.len());
         for e in &expected {
             assert!(
-                gb.polys.contains(e),
+                gb.polys().contains(e),
                 "expected {e} in basis {:?}",
-                gb.polys.iter().map(|q| q.to_string()).collect::<Vec<_>>()
+                gb.polys().iter().map(|q| q.to_string()).collect::<Vec<_>>()
             );
         }
     }
@@ -885,10 +1178,10 @@ mod tests {
         let order = MonomialOrder::grlex(&["x", "y"]);
         let gb = groebner_basis(&[p("x^3 - 2*x*y"), p("x^2*y - 2*y^2 + x")], &order);
         assert!(gb.complete);
-        for i in 0..gb.polys.len() {
-            for j in (i + 1)..gb.polys.len() {
-                let s = s_polynomial(&gb.polys[i], &gb.polys[j], &order);
-                assert!(reduces_to_zero(&s, &gb.polys, &order));
+        for i in 0..gb.polys().len() {
+            for j in (i + 1)..gb.polys().len() {
+                let s = s_polynomial(&gb.polys()[i], &gb.polys()[j], &order);
+                assert!(reduces_to_zero(&s, gb.polys(), &order));
             }
         }
         // The classic reduced basis for this ideal under grlex is
@@ -953,7 +1246,7 @@ mod tests {
         let order = MonomialOrder::lex(&["x", "y"]);
         let a = groebner_basis(&[p("x - y"), p("y^2 - 1")], &order);
         let b = groebner_basis(&[p("x - y"), p("y^2 - 1"), p("x*y^2 - x + x - y")], &order);
-        assert_eq!(a.polys, b.polys);
+        assert_eq!(a.polys(), b.polys());
     }
 
     #[test]
@@ -988,7 +1281,7 @@ mod tests {
             };
             let gb = buchberger(&gens, &order, &opts);
             assert!(gb.reductions <= cap);
-            for q in &gb.polys {
+            for q in gb.polys() {
                 assert!(
                     full.contains(q),
                     "truncated basis element {q} escaped the ideal (cap {cap})"
@@ -1017,7 +1310,7 @@ mod tests {
         assert!(gb.complete);
         assert_eq!(gb.reductions, 0);
         assert_eq!(gb.skipped_coprime, 1);
-        assert_eq!(gb.polys, vec![p("x - 1"), p("y - 2")]);
+        assert_eq!(gb.polys(), vec![p("x - 1"), p("y - 2")]);
     }
 
     #[test]
@@ -1027,7 +1320,7 @@ mod tests {
         let reference = buchberger(&gens, &order, &GroebnerOptions::default());
         for opts in option_combinations() {
             let gb = buchberger(&gens, &order, &opts);
-            assert_eq!(gb.polys, reference.polys, "options {opts:?}");
+            assert_eq!(gb.polys(), reference.polys(), "options {opts:?}");
             assert!(gb.complete);
         }
         // Disabling both criteria performs at least as many reductions.
@@ -1056,7 +1349,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(with.polys, without.polys);
+        assert_eq!(with.polys(), without.polys());
         assert!(with.skipped_chain > 0, "chain criterion never fired");
         assert!(
             with.reductions <= without.reductions,
@@ -1075,7 +1368,7 @@ mod tests {
         let cubic = [p("x^2 - y"), p("x^3 - z")];
         let (seed_basis, seed_reductions) = seed_buchberger(&cubic, &cubic_order);
         let gb = groebner_basis(&cubic, &cubic_order);
-        assert_eq!(gb.polys, seed_basis);
+        assert_eq!(gb.polys(), seed_basis);
         assert!(
             gb.reductions <= seed_reductions,
             "twisted cubic: {} > seed {}",
@@ -1086,7 +1379,7 @@ mod tests {
         let (gens, order) = mapper_side_relation_ideal();
         let (seed_basis, seed_reductions) = seed_buchberger(&gens, &order);
         let gb = groebner_basis(&gens, &order);
-        assert_eq!(gb.polys, seed_basis);
+        assert_eq!(gb.polys(), seed_basis);
         assert!(
             gb.reductions <= seed_reductions,
             "mapper ideal: {} > seed {}",
@@ -1107,7 +1400,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(plain.polys, sugared.polys);
+        assert_eq!(plain.polys(), sugared.polys());
         assert!(sugared.complete);
     }
 
@@ -1220,13 +1513,144 @@ mod tests {
             .collect();
         for handle in handles {
             for gb in handle.join().expect("cache thread panicked") {
-                assert_eq!(gb.polys, reference.polys);
+                assert_eq!(gb.polys(), reference.polys());
             }
         }
         // 32 lookups total; every one either hit or computed.
         assert_eq!(cache.hits() + cache.misses(), 32);
         assert!(cache.misses() >= 1);
         assert!(cache.len() == 1, "racing threads must retain one entry");
+    }
+
+    #[test]
+    fn ring_local_path_matches_unringed_oracle_on_late_interned_vars() {
+        // Inflate the interner, then build the mapper ideal's shape over
+        // fresh (high-index) names: the ring path must agree with the
+        // global-coordinate oracle byte for byte — polys, counters, flags.
+        for i in 0..300 {
+            Var::new(&format!("gb_oracle_filler_{i}"));
+        }
+        let names = ["gbo_x", "gbo_y", "gbo_s", "gbo_d", "gbo_q", "gbo_sx"];
+        let v: Vec<Poly> = names.iter().map(|n| Poly::var(Var::new(n))).collect();
+        let gens = vec![
+            v[0].add(&v[1]).sub(&v[2]),
+            v[0].sub(&v[1]).sub(&v[3]),
+            v[0].mul(&v[1]).sub(&v[4]),
+            v[0].mul(&v[0]).sub(&v[5]),
+        ];
+        let order = MonomialOrder::Lex(names.iter().map(|n| Var::new(n)).collect());
+        for opts in option_combinations() {
+            let ringed = buchberger(&gens, &order, &opts);
+            let unringed = buchberger_unringed(&gens, &order, &opts);
+            assert_eq!(ringed.polys(), unringed.polys(), "options {opts:?}");
+            assert_eq!(ringed.reductions, unringed.reductions);
+            assert_eq!(ringed.skipped_coprime, unringed.skipped_coprime);
+            assert_eq!(ringed.skipped_chain, unringed.skipped_chain);
+            assert_eq!(ringed.complete, unringed.complete);
+        }
+        // The reduce path agrees too (ring built over basis + target).
+        let gb = groebner_basis(&gens, &order);
+        let probe = v[0].mul(&v[0]).sub(&v[1].mul(&v[1]));
+        assert_eq!(
+            gb.reduce(&probe),
+            normal_form(&probe, gb.polys(), &gb.order)
+        );
+        assert_eq!(gb.membership(&gens[2]), Membership::In);
+    }
+
+    #[test]
+    fn cache_shares_alpha_equivalent_ideals() {
+        let cache = SharedGroebnerCache::new();
+        let opts = GroebnerOptions::default();
+        // Twisted cubic over two disjoint, test-local variable name sets,
+        // interned here in matching relative order: α-sharing keys on the
+        // ring-local canonical form, whose local index assignment follows
+        // interner-index order — fresh names make that order a property of
+        // this test, not of which concurrently running test happened to
+        // intern the workspace-wide `x`/`y`/`z` first.
+        let names_a = ["acia_x", "acia_y", "acia_z"];
+        let (ax, ay, az) = (
+            Poly::var(Var::new(names_a[0])),
+            Poly::var(Var::new(names_a[1])),
+            Poly::var(Var::new(names_a[2])),
+        );
+        let a = [ax.mul(&ax).sub(&ay), ax.mul(&ax).mul(&ax).sub(&az)];
+        let order_a = MonomialOrder::Lex(names_a.iter().map(|n| Var::new(n)).collect());
+        let names_b = ["alpha_u", "alpha_v", "alpha_w"];
+        let (u, v, w) = (
+            Poly::var(Var::new(names_b[0])),
+            Poly::var(Var::new(names_b[1])),
+            Poly::var(Var::new(names_b[2])),
+        );
+        let b = [u.mul(&u).sub(&v), u.mul(&u).mul(&u).sub(&w)];
+        let order_b = MonomialOrder::Lex(names_b.iter().map(|n| Var::new(n)).collect());
+
+        let gb_a = cache.basis(&a, &order_a, &opts);
+        assert_eq!(
+            (
+                cache.hits(),
+                cache.misses(),
+                cache.alpha_hits(),
+                cache.alpha_misses()
+            ),
+            (0, 1, 0, 1)
+        );
+        // α-equivalent request: new global key, shared core computation.
+        let gb_b = cache.basis(&b, &order_b, &opts);
+        assert_eq!(
+            (
+                cache.hits(),
+                cache.misses(),
+                cache.alpha_hits(),
+                cache.alpha_misses()
+            ),
+            (0, 2, 1, 1)
+        );
+        assert_eq!(cache.alpha_len(), 1);
+        assert_eq!(cache.len(), 2, "both global keys stay resident");
+        // The shared core globalizes into each ring correctly: the renamed
+        // basis is the renamed image of the original (4 elements each), and
+        // membership works in each coordinate system.
+        assert_eq!(gb_a.polys().len(), gb_b.polys().len());
+        assert!(gb_a.contains(&ay.mul(&ay).mul(&ay).sub(&az.mul(&az))));
+        assert!(gb_b.contains(&v.mul(&v).mul(&v).sub(&w.mul(&w))));
+        // A repeat of either request is a plain global hit — no α traffic.
+        cache.basis(&b, &order_b, &opts);
+        assert_eq!(
+            (cache.hits(), cache.alpha_hits(), cache.alpha_misses()),
+            (1, 1, 1)
+        );
+        // An order listing an extra variable *outside* the ideal's ring is
+        // the same canonical form: α-hit, not a recomputation.
+        let order_a_padded = MonomialOrder::lex(&["acia_x", "acia_y", "acia_z", "alpha_pad"]);
+        let gb_pad = cache.basis(&a, &order_a_padded, &opts);
+        assert_eq!(
+            (cache.misses(), cache.alpha_hits(), cache.alpha_misses()),
+            (3, 2, 1)
+        );
+        assert_eq!(gb_pad.polys(), gb_a.polys());
+        let stats_sum: usize = cache.alpha_shard_stats().iter().map(|s| s.hits).sum();
+        assert_eq!(stats_sum, cache.alpha_hits());
+        assert_eq!(cache.alpha_evictions(), 0);
+    }
+
+    #[test]
+    fn alpha_layer_stays_bounded_under_churn() {
+        let cache = SharedGroebnerCache::with_config(CacheConfig {
+            shards: 2,
+            capacity: 4,
+        });
+        let order = MonomialOrder::lex(&["x"]);
+        let opts = GroebnerOptions::default();
+        for i in 1..40_i64 {
+            // Distinct constants → distinct local keys (constants survive
+            // localization verbatim), so the α-layer churns like the global
+            // layer and must respect the same bound.
+            let gens = [p("x").add(&Poly::integer(i))];
+            cache.basis(&gens, &order, &opts);
+        }
+        assert!(cache.alpha_len() <= cache.capacity());
+        assert!(cache.alpha_evictions() > 0);
     }
 
     #[test]
@@ -1290,7 +1714,7 @@ mod tests {
                     let gb = buchberger(&polys, &order, &opts);
                     prop_assume!(gb.complete);
                     prop_assert_eq!(
-                        &gb.polys,
+                        &gb.polys(),
                         &seed_basis,
                         "order {:?}, options {:?}",
                         order,

@@ -9,6 +9,10 @@
 //!   multiplication (see `DESIGN.md` §4 for the representation),
 //! * monomial orderings including elimination orders ([`ordering`]),
 //!   compared by allocation-free slice loops,
+//! * ring-local monomial coordinates ([`ring`]) — every Gröbner/normal-form
+//!   computation runs over dense per-ideal variable indices, so its cost
+//!   scales with the ideal's variable count, never with how many symbols the
+//!   process-wide interner holds,
 //! * multi-divisor polynomial division / normal forms ([`division`]),
 //! * Buchberger's algorithm for Gröbner bases ([`groebner`]),
 //! * **simplification modulo a set of side relations** ([`simplify`]) — the
@@ -46,6 +50,7 @@ pub mod monomial;
 pub mod ordering;
 pub mod parse;
 pub mod poly;
+pub mod ring;
 pub mod simplify;
 pub mod subst;
 pub mod var;
@@ -54,4 +59,5 @@ pub use error::AlgebraError;
 pub use monomial::Monomial;
 pub use ordering::MonomialOrder;
 pub use poly::Poly;
+pub use ring::Ring;
 pub use var::{Var, VarSet};

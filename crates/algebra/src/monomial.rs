@@ -27,15 +27,18 @@ use crate::var::{Var, VarSet};
 /// 2–7 variables); the constant only bounds *inline* storage, not the number
 /// of variables.
 ///
-/// Because storage is dense **by interner index**, what must fit is the
-/// *highest variable index* occurring in the monomial, not the variable
-/// count: a monomial in one late-interned variable of index `k` stores
-/// `k + 1` slots, and its slice operations scan all of them. This is the
-/// right trade for the mapper (program variables and library symbols are
-/// interned first, so hot monomials have small indices); a process that
-/// interns thousands of names before doing algebra pays proportionally —
-/// see `DESIGN.md` §4 for the limitation and the per-ring remapping that
-/// would lift it.
+/// Storage is dense by variable index, so what must fit inline is the
+/// *highest index* occurring in the monomial, not the variable count. In
+/// **global** coordinates that index is the interner index — a monomial in
+/// one late-interned variable of index `k` stores `k + 1` slots. The algebra
+/// hot paths no longer run in global coordinates, though: Gröbner/normal-form
+/// computations rewrite their inputs through a [`crate::ring::Ring`] into
+/// dense **ring-local** indices `0..n` at entry, where `n` is the ideal's
+/// variable count (2–7 for the paper's workloads — always inline), and only
+/// the one-pass localize/globalize boundary ever touches the wide global
+/// vectors. A process that interns thousands of names before doing algebra
+/// pays a boundary scan proportional to the interner width once per ideal,
+/// not per operation — see `DESIGN.md` §4 and the `wide_interner` bench.
 pub const INLINE_VARS: usize = 8;
 
 /// Exponent storage: a fixed inline array or a heap spill for wide monomials.
@@ -106,7 +109,8 @@ impl Monomial {
     /// directly into the inline array when the result fits — the binary
     /// operations on the division/Gröbner hot path go through here so that
     /// the common ≤ [`INLINE_VARS`]-wide case allocates nothing at all.
-    fn from_fn(width: usize, get: impl Fn(usize) -> u32) -> Self {
+    /// Also the localization entry point of [`crate::ring::Ring`].
+    pub(crate) fn from_fn(width: usize, get: impl Fn(usize) -> u32) -> Self {
         if width <= INLINE_VARS {
             let mut arr = [0u32; INLINE_VARS];
             let mut degree = 0u64;
@@ -126,6 +130,66 @@ impl Monomial {
             }
         } else {
             Monomial::from_dense((0..width).map(get).collect())
+        }
+    }
+
+    /// Builds from a dense exponent vector whose trailing entry is already
+    /// non-zero and whose total degree the caller knows — the globalization
+    /// path of [`crate::ring::Ring`], where re-deriving either would cost an
+    /// `O(width)` pass over a mostly-zero wide vector.
+    pub(crate) fn from_dense_with_degree(exps: Vec<u32>, degree: u64) -> Self {
+        debug_assert_ne!(exps.last().copied(), Some(0), "trailing zero not trimmed");
+        debug_assert_eq!(exps.iter().map(|&e| e as u64).sum::<u64>(), degree);
+        let len = exps.len() as u32;
+        if exps.len() <= INLINE_VARS {
+            let mut arr = [0u32; INLINE_VARS];
+            arr[..exps.len()].copy_from_slice(&exps);
+            Monomial {
+                len,
+                degree,
+                exps: Exps::Inline(arr),
+            }
+        } else {
+            Monomial {
+                len,
+                degree,
+                exps: Exps::Heap(exps.into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Appends the indices of all non-zero exponents to `out` (the variable
+    /// support, ascending). Chunked so that the all-zero stretches of a wide
+    /// global-coordinate vector are rejected by vectorizable OR-reductions —
+    /// this is the ring-spanning scan, the only step of a localized
+    /// computation that still walks the full global width, so it is written
+    /// to move at memory speed: fixed-size 64-slot OR-folds (which LLVM
+    /// turns into SIMD loads) inside 256-slot rejection blocks, descending
+    /// to per-element work only where a block holds support.
+    pub(crate) fn support_into(&self, out: &mut Vec<u32>) {
+        const LANE: usize = 64;
+        const BLOCK: usize = 4 * LANE;
+        let exps = self.exps();
+        let mut base = 0usize;
+        for block in exps.chunks(BLOCK) {
+            let mut any = 0u32;
+            let lanes = block.chunks_exact(LANE);
+            let tail = lanes.remainder();
+            for lane in lanes {
+                // Fixed-length array fold: no trip-count check per element,
+                // so this compiles to straight-line SIMD ORs.
+                let lane: &[u32; LANE] = lane.try_into().expect("exact chunk");
+                any |= lane.iter().fold(0u32, |acc, &e| acc | e);
+            }
+            any |= tail.iter().fold(0u32, |acc, &e| acc | e);
+            if any != 0 {
+                for (j, &e) in block.iter().enumerate() {
+                    if e != 0 {
+                        out.push((base + j) as u32);
+                    }
+                }
+            }
+            base += BLOCK;
         }
     }
 

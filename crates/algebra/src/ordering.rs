@@ -88,6 +88,38 @@ impl MonomialOrder {
         }
     }
 
+    /// Rewrites the order into the local coordinates of `ring`: listed
+    /// variables inside the ring map to their local handles (precedence
+    /// preserved), listed variables outside the ring are dropped — every
+    /// monomial of a ring-local computation has exponent zero on them, so
+    /// they can never decide a comparison — and an [`MonomialOrder::Elimination`]
+    /// block shrinks by exactly the dropped members of its first `k` entries
+    /// (their block-degree contribution is identically zero).
+    ///
+    /// Unlisted variables need no mapping at all: they rank by ascending
+    /// index in both coordinate systems, and localization preserves relative
+    /// index order, so the unlisted sweeps of [`MonomialOrder::cmp`] agree.
+    /// The net effect is that `localized(ring).cmp(localize(a), localize(b))
+    /// == cmp(a, b)` for all monomials supported on the ring, while each
+    /// comparison loops over at most `ring.len()` slots instead of the full
+    /// interner width.
+    pub fn localized(&self, ring: &crate::ring::Ring) -> MonomialOrder {
+        let map = |vs: &VarSet| -> VarSet {
+            vs.iter()
+                .filter_map(|v| ring.local_of(v).map(Var::from_index))
+                .collect()
+        };
+        match self {
+            MonomialOrder::Lex(v) => MonomialOrder::Lex(map(v)),
+            MonomialOrder::GrLex(v) => MonomialOrder::GrLex(map(v)),
+            MonomialOrder::GrevLex(v) => MonomialOrder::GrevLex(map(v)),
+            MonomialOrder::Elimination(v, k) => {
+                let kept = v.iter().take(*k).filter(|&v| ring.contains(v)).count();
+                MonomialOrder::Elimination(map(v), kept)
+            }
+        }
+    }
+
     /// Lexicographic comparison: listed variables in precedence order, then
     /// unlisted variables by ascending interner index; the first variable
     /// with differing exponents decides (larger exponent wins).

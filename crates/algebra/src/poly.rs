@@ -174,6 +174,22 @@ impl Poly {
         Poly { terms: out }
     }
 
+    /// Builds a polynomial from a term vector that is **already** strictly
+    /// descending in the canonical monomial order with no zero coefficients —
+    /// the ring localize/globalize boundary, which maps a sorted term vector
+    /// through an order-preserving coordinate change and must not pay (or
+    /// depend on) a re-sort.
+    pub(crate) fn from_sorted_terms_unchecked(terms: Vec<Term>) -> Self {
+        debug_assert!(
+            terms
+                .windows(2)
+                .all(|w| w[0].0.cmp(&w[1].0) == Ordering::Greater),
+            "term vector not strictly descending in the canonical order"
+        );
+        debug_assert!(terms.iter().all(|(_, c)| !c.is_zero()));
+        Poly { terms }
+    }
+
     /// Parses a textual polynomial such as `"x^2 + 2*x*y - 3/2"`.
     ///
     /// The grammar accepts `+ - * ^ ( )`, integer and rational/decimal

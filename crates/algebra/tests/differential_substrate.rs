@@ -752,7 +752,7 @@ proptest! {
                 .iter()
                 .map(ref_to_new)
                 .collect();
-            prop_assert_eq!(&gb.polys, &expected, "order {:?}", new_order);
+            prop_assert_eq!(&gb.polys(), &expected, "order {:?}", new_order);
         }
     }
 }

@@ -27,7 +27,7 @@ fn bench(c: &mut Criterion) {
         let gb = groebner_basis(&gens, &order);
         println!(
             "order {name}: basis size {}, reductions {}, skipped {} coprime / {} chain",
-            gb.polys.len(),
+            gb.polys().len(),
             gb.reductions,
             gb.skipped_coprime,
             gb.skipped_chain

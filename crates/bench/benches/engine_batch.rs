@@ -92,14 +92,17 @@ fn bench(c: &mut Criterion) {
     }
 
     if quick {
-        use symmap_bench::quickbench::{self, QuickEntry};
+        use symmap_bench::quickbench;
         let note = quickbench::run_note();
         let stats = &sequential.stats;
+        // hw_threads is a structured entry field now; the note keeps only
+        // what the schema cannot carry (speedup, worker count, cache deltas).
         let cache_note = format!(
-            "speedup {speedup:.2}x @{n}w/{hardware}hw; cold cache {}h/{}m/{}e",
+            "speedup {speedup:.2}x @{n}w; cold cache {}h/{}m/{}e/{}a",
             stats.cache_hits(),
             stats.cache_misses(),
-            stats.cache_evictions()
+            stats.cache_evictions(),
+            stats.cache_alpha_hits(),
         );
         let full_note = if note.is_empty() {
             cache_note
@@ -107,17 +110,17 @@ fn bench(c: &mut Criterion) {
             format!("{note}; {cache_note}")
         };
         quickbench::append_entries(&[
-            QuickEntry {
-                bench: "engine_batch/mp3-11-kernels/workers-1".into(),
-                wall_ns: wall_1,
-                reductions: None,
+            quickbench::QuickEntry {
                 note: full_note.clone(),
+                ..quickbench::entry("engine_batch/mp3-11-kernels/workers-1", wall_1, None)
             },
-            QuickEntry {
-                bench: format!("engine_batch/mp3-11-kernels/workers-{n}"),
-                wall_ns: wall_n,
-                reductions: None,
+            quickbench::QuickEntry {
                 note: full_note,
+                ..quickbench::entry(
+                    format!("engine_batch/mp3-11-kernels/workers-{n}"),
+                    wall_n,
+                    None,
+                )
             },
         ]);
         println!(

@@ -80,7 +80,7 @@ fn bench(c: &mut Criterion) {
             println!(
                 "{:<24} {cfg_name:<12} {:>6} {:>10} {:>8} {:>7} {:>6}",
                 ideal.name,
-                gb.polys.len(),
+                gb.polys().len(),
                 gb.reductions,
                 gb.skipped_coprime,
                 gb.skipped_chain,
@@ -135,8 +135,7 @@ fn bench(c: &mut Criterion) {
         // batches, appended to BENCH.json) so the perf trajectory accumulates
         // without a full Criterion run; the reduction count anchors each
         // entry since it is representation-independent and exact.
-        use symmap_bench::quickbench::{self, QuickEntry};
-        let note = quickbench::run_note();
+        use symmap_bench::quickbench;
         let mut entries = Vec::new();
         println!("groebner_engine — quick wall-clock (median of batches)");
         for ideal in &ideals {
@@ -149,12 +148,11 @@ fn bench(c: &mut Criterion) {
                 ));
             });
             println!("groebner_engine/{:<24} {wall_ns:>12} ns/iter", ideal.name);
-            entries.push(QuickEntry {
-                bench: format!("groebner_engine/{}", ideal.name),
+            entries.push(quickbench::entry(
+                format!("groebner_engine/{}", ideal.name),
                 wall_ns,
-                reductions: Some(gb.reductions as u64),
-                note: note.clone(),
-            });
+                Some(gb.reductions as u64),
+            ));
         }
         quickbench::append_entries(&entries);
         println!(

@@ -14,7 +14,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use symmap_algebra::division::normal_form;
 use symmap_algebra::ordering::MonomialOrder;
 use symmap_algebra::poly::Poly;
-use symmap_bench::quickbench::{self, QuickEntry};
+use symmap_bench::quickbench;
 
 fn p(s: &str) -> Poly {
     Poly::parse(s).unwrap()
@@ -86,18 +86,12 @@ fn workloads() -> Vec<Workload> {
 fn bench(criterion: &mut Criterion) {
     let quick = std::env::var("SYMMAP_QUICK").is_ok();
     if quick {
-        let note = quickbench::run_note();
         let mut entries = Vec::new();
         println!("\npoly_arith — quick wall-clock (median of batches)");
         for (name, mut f) in workloads() {
             let wall_ns = quickbench::measure_ns(20, 9, &mut *f);
             println!("{name:<28} {wall_ns:>12} ns/iter");
-            entries.push(QuickEntry {
-                bench: name.to_string(),
-                wall_ns,
-                reductions: None,
-                note: note.clone(),
-            });
+            entries.push(quickbench::entry(name, wall_ns, None));
         }
         quickbench::append_entries(&entries);
         println!(

@@ -9,23 +9,32 @@
 //! so they anchor wall-clock entries from different machines), and a
 //! free-text note (`SYMMAP_BENCH_NOTE`) identifying the run.
 //!
-//! The file is self-describing and append-only:
+//! The file is self-describing and append-only (schema 2 adds structured
+//! `pr` and `hw_threads` fields — the PR that recorded the entry and the
+//! hardware thread count of the recording machine — which used to be stuffed
+//! unparseably into the free-text note):
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "entries": [
-//!     {"bench": "groebner_engine/mapper-side-relations", "wall_ns": 1234, "reductions": 7, "note": "PR3 baseline"}
+//!     {"bench": "groebner_engine/mapper-side-relations", "wall_ns": 1234, "reductions": 7, "pr": 3, "hw_threads": 1, "note": "baseline"}
 //!   ]
 //! }
 //! ```
 //!
-//! The merger only has to re-read a file this module itself wrote, so the
-//! parser is deliberately line-oriented rather than a general JSON reader.
+//! The merger and the `perfgate` regression gate only have to re-read a file
+//! this module itself wrote, so the parser is deliberately line-oriented
+//! rather than a general JSON reader.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// The PR recorded into fresh entries when `SYMMAP_BENCH_PR` is unset.
+/// Bump alongside each perf-relevant PR so `perfgate` and readers can group
+/// the trajectory without parsing notes.
+pub const CURRENT_PR: u32 = 5;
 
 /// One benchmark measurement destined for `BENCH.json`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,7 +45,14 @@ pub struct QuickEntry {
     pub wall_ns: u128,
     /// Exact S-polynomial reduction count, when the workload has one.
     pub reductions: Option<u64>,
-    /// Free-text provenance (from `SYMMAP_BENCH_NOTE`), e.g. `"PR3 baseline"`.
+    /// The PR this entry was recorded under (schema 2; absent only in
+    /// never-migrated legacy lines).
+    pub pr: Option<u32>,
+    /// Hardware threads of the recording machine (schema 2). `perfgate`
+    /// only compares entries whose `hw_threads` match, so numbers from
+    /// different machines are never judged against each other.
+    pub hw_threads: Option<u32>,
+    /// Free-text provenance (from `SYMMAP_BENCH_NOTE`), e.g. `"ci quick"`.
     pub note: String,
 }
 
@@ -53,9 +69,45 @@ impl QuickEntry {
         if let Some(r) = self.reductions {
             write!(s, ", \"reductions\": {r}").expect("writing to String cannot fail");
         }
+        if let Some(pr) = self.pr {
+            write!(s, ", \"pr\": {pr}").expect("writing to String cannot fail");
+        }
+        if let Some(hw) = self.hw_threads {
+            write!(s, ", \"hw_threads\": {hw}").expect("writing to String cannot fail");
+        }
         write!(s, ", \"note\": \"{}\"}}", escape(&self.note)).expect("write to String");
         s
     }
+}
+
+/// Builds an entry for the current run: `pr` from `SYMMAP_BENCH_PR` (falling
+/// back to [`CURRENT_PR`]), `hw_threads` from the running machine, `note`
+/// from `SYMMAP_BENCH_NOTE`.
+pub fn entry(bench: impl Into<String>, wall_ns: u128, reductions: Option<u64>) -> QuickEntry {
+    QuickEntry {
+        bench: bench.into(),
+        wall_ns,
+        reductions,
+        pr: Some(pr_for_run()),
+        hw_threads: Some(hw_threads()),
+        note: run_note(),
+    }
+}
+
+/// The PR number stamped on this run's entries (`SYMMAP_BENCH_PR` override,
+/// else [`CURRENT_PR`]).
+pub fn pr_for_run() -> u32 {
+    std::env::var("SYMMAP_BENCH_PR")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(CURRENT_PR)
+}
+
+/// Hardware thread count of this machine (1 when undetectable).
+pub fn hw_threads() -> u32 {
+    std::thread::available_parallelism()
+        .map(|p| p.get() as u32)
+        .unwrap_or(1)
 }
 
 fn escape(s: &str) -> String {
@@ -109,13 +161,84 @@ pub fn append_entries(new_entries: &[QuickEntry]) {
     for e in new_entries {
         lines.push(e.to_json_line().trim_start().to_string());
     }
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"entries\": [\n");
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"entries\": [\n");
     for (i, l) in lines.iter().enumerate() {
         let sep = if i + 1 == lines.len() { "" } else { "," };
         writeln!(out, "    {l}{sep}").expect("writing to String cannot fail");
     }
     out.push_str("  ]\n}\n");
     std::fs::write(&path, out).expect("BENCH.json must be writable");
+}
+
+/// Extracts a `"key": "string"` field from one machine-written entry line
+/// (unescaping the two escapes [`escape`] emits for `"` and `\`; `\uXXXX`
+/// control escapes are left verbatim — nothing downstream compares notes).
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                let escaped = chars.next()?;
+                if escaped == 'u' {
+                    // `\uXXXX` control escapes stay verbatim (escape() only
+                    // ever *writes* them; nothing unescapes them), so keep
+                    // the backslash rather than swallowing it.
+                    out.push('\\');
+                }
+                out.push(escaped);
+            }
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts a `"key": 123` integer field from one entry line.
+fn int_field(line: &str, key: &str) -> Option<u128> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parses one `BENCH.json` entry line back into a [`QuickEntry`]. Legacy
+/// (schema 1) lines parse with `pr`/`hw_threads` as `None`.
+pub fn parse_entry_line(line: &str) -> Option<QuickEntry> {
+    Some(QuickEntry {
+        bench: string_field(line, "bench")?,
+        wall_ns: int_field(line, "wall_ns")?,
+        reductions: int_field(line, "reductions").map(|r| r as u64),
+        pr: int_field(line, "pr").map(|p| p as u32),
+        hw_threads: int_field(line, "hw_threads").map(|h| h as u32),
+        note: string_field(line, "note").unwrap_or_default(),
+    })
+}
+
+/// Reads every recorded entry from `BENCH.json`, in file (chronological)
+/// order. Missing file → empty trajectory.
+pub fn read_entries() -> Vec<QuickEntry> {
+    let Ok(existing) = std::fs::read_to_string(bench_json_path()) else {
+        return Vec::new();
+    };
+    existing
+        .lines()
+        .filter_map(|line| {
+            let t = line.trim_start();
+            if t.starts_with("{\"bench\"") {
+                parse_entry_line(t)
+            } else {
+                None
+            }
+        })
+        .collect()
 }
 
 /// Median per-iteration wall clock of `f`, in nanoseconds.
@@ -149,20 +272,53 @@ mod tests {
             bench: "poly_arith/mul".into(),
             wall_ns: 42,
             reductions: Some(7),
+            pr: Some(5),
+            hw_threads: Some(4),
             note: "unit \"test\"".into(),
         };
         let line = e.to_json_line();
         assert!(line.contains("\"bench\": \"poly_arith/mul\""));
         assert!(line.contains("\"wall_ns\": 42"));
         assert!(line.contains("\"reductions\": 7"));
+        assert!(line.contains("\"pr\": 5"));
+        assert!(line.contains("\"hw_threads\": 4"));
         assert!(line.contains("unit \\\"test\\\""));
         let no_red = QuickEntry {
             reductions: None,
-            ..e
+            pr: None,
+            hw_threads: None,
+            ..e.clone()
         };
-        assert!(!no_red.to_json_line().contains("reductions"));
+        let bare = no_red.to_json_line();
+        assert!(!bare.contains("reductions"));
+        assert!(!bare.contains("\"pr\""));
+        assert!(!bare.contains("hw_threads"));
         // Control characters are escaped so the file stays valid JSON.
         assert_eq!(escape("a\tb\r\nc"), "a\\u0009b\\u000d\\u000ac");
+        // Writer → parser round trip, structured fields included.
+        assert_eq!(parse_entry_line(&line), Some(e));
+        assert_eq!(parse_entry_line(&bare), Some(no_red));
+    }
+
+    #[test]
+    fn entry_builder_stamps_run_metadata() {
+        let e = entry("wide_interner/test", 99, Some(5));
+        assert_eq!(e.bench, "wide_interner/test");
+        assert_eq!(e.wall_ns, 99);
+        assert_eq!(e.reductions, Some(5));
+        assert!(e.hw_threads.is_some());
+        assert!(e.pr.is_some());
+    }
+
+    #[test]
+    fn legacy_schema1_lines_parse_without_structured_fields() {
+        let legacy = r#"{"bench": "groebner_engine/twisted-cubic", "wall_ns": 34495, "reductions": 5, "note": "PR3 pre-refactor baseline"}"#;
+        let e = parse_entry_line(legacy).unwrap();
+        assert_eq!(e.bench, "groebner_engine/twisted-cubic");
+        assert_eq!(e.wall_ns, 34495);
+        assert_eq!(e.reductions, Some(5));
+        assert_eq!((e.pr, e.hw_threads), (None, None));
+        assert_eq!(e.note, "PR3 pre-refactor baseline");
     }
 
     #[test]

@@ -149,6 +149,12 @@ pub fn render_engine_stats(stats: &EngineStats) -> String {
         stats.cache_len(),
         stats.cache_shards.len(),
     ));
+    out.push_str(&format!(
+        "  ring-local sharing: {} α-hits / {} Buchberger cores run \
+         (α-equivalent side-relation ideals share one core)\n",
+        stats.cache_alpha_hits(),
+        stats.cache_alpha_misses(),
+    ));
     for (i, shard) in stats.cache_shards.iter().enumerate() {
         // Shards untouched by the batch (and currently empty) add no signal.
         if shard.hits + shard.misses + shard.evictions + shard.len == 0 {

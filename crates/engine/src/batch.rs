@@ -136,6 +136,13 @@ pub struct EngineStats {
     /// activity; with one batch in flight at a time (how every in-repo
     /// consumer runs) they are exactly this batch's.
     pub cache_shards: Vec<CacheShardStats>,
+    /// Per-shard counters of the cache's ring-local (α-equivalence) layer
+    /// over this batch's run: `hits` are lookups whose global key was new
+    /// but whose ring-local canonical form — the same side-relation ideal up
+    /// to variable renaming, or up to order entries outside the ideal's ring
+    /// — was already memoized, so only a cheap globalization ran instead of
+    /// a Buchberger computation.
+    pub alpha_shards: Vec<CacheShardStats>,
 }
 
 impl EngineStats {
@@ -157,6 +164,19 @@ impl EngineStats {
     /// Bases resident in the shared cache after the batch.
     pub fn cache_len(&self) -> usize {
         self.cache_shards.iter().map(|s| s.len).sum()
+    }
+
+    /// Global-key misses answered by the ring-local layer during this batch
+    /// (an α-equivalent ideal's core basis was reused; see
+    /// [`EngineStats::alpha_shards`]).
+    pub fn cache_alpha_hits(&self) -> usize {
+        self.alpha_shards.iter().map(|s| s.hits).sum()
+    }
+
+    /// Ring-local canonical forms that ran the Buchberger core during this
+    /// batch — the batch's real basis-computation count.
+    pub fn cache_alpha_misses(&self) -> usize {
+        self.alpha_shards.iter().map(|s| s.misses).sum()
     }
 }
 
@@ -232,6 +252,7 @@ impl MappingEngine {
     pub fn run(&self, jobs: &[MapJob]) -> BatchResult {
         let start = Instant::now();
         let before = self.cache.shard_stats();
+        let alpha_before = self.cache.alpha_shard_stats();
 
         // Close the interner side channel: intern every output symbol on this
         // thread, in job order, before any worker can race to it.
@@ -254,6 +275,13 @@ impl MappingEngine {
             .zip(&before)
             .map(|(after, before)| after.delta_since(before))
             .collect();
+        let alpha_shards = self
+            .cache
+            .alpha_shard_stats()
+            .iter()
+            .zip(&alpha_before)
+            .map(|(after, before)| after.delta_since(before))
+            .collect();
         BatchResult {
             outcomes,
             stats: EngineStats {
@@ -262,6 +290,7 @@ impl MappingEngine {
                 steals: pool_stats.steals,
                 wall: start.elapsed(),
                 cache_shards,
+                alpha_shards,
             },
         }
     }

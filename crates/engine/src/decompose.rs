@@ -123,6 +123,19 @@ impl Mapper {
         (self.cache.hits(), self.cache.misses())
     }
 
+    /// `(α-hits, α-misses)` of the cache's ring-local layer. The search
+    /// prices each element subset by building its side-relation ideal and
+    /// reducing the target modulo a basis computed in **ring-local
+    /// coordinates** (a `Ring` spanning the side relations is built once per
+    /// ideal); an α-hit means the subset's ideal was structurally identical
+    /// — up to variable renaming, or up to target-only variables in the
+    /// default order — to one already priced, so its basis came from the
+    /// shared core instead of a fresh Buchberger run. α-misses count the
+    /// Buchberger computations that actually ran.
+    pub fn cache_alpha_stats(&self) -> (usize, usize) {
+        (self.cache.alpha_hits(), self.cache.alpha_misses())
+    }
+
     /// Maps a target polynomial onto the library, returning the best solution
     /// found.
     ///
@@ -489,6 +502,46 @@ mod tests {
         // (the deterministic search re-prices exactly the same subsets).
         mapper.map_polynomial(&p("x^2 + 2*x*y + y^2")).unwrap();
         assert_eq!(mapper.cache_stats().1, misses_second);
+    }
+
+    #[test]
+    fn alpha_equivalent_side_relations_share_one_core_basis() {
+        // Two libraries over disjoint variable/symbol names but identical
+        // element shapes, sharing one cache: the second library's subsets
+        // are α-equivalent to the first's, so pricing them reuses the
+        // ring-local cores (α-hits) instead of rerunning Buchberger.
+        let cache = std::sync::Arc::new(SharedGroebnerCache::new());
+        let mut lib_a = Library::new("a");
+        lib_a.push(element("sum_a", "as1", "ax + ay", 4, 1e-9));
+        lib_a.push(element("prod_a", "ap1", "ax*ay", 5, 1e-9));
+        let mut lib_b = Library::new("b");
+        lib_b.push(element("sum_b", "bs1", "bx + by", 4, 1e-9));
+        lib_b.push(element("prod_b", "bp1", "bx*by", 5, 1e-9));
+
+        let mapper_a =
+            Mapper::with_shared_cache(&lib_a, MapperConfig::default(), Arc::clone(&cache));
+        let sol_a = mapper_a
+            .map_polynomial(&p("ax^2 + 2*ax*ay + ay^2"))
+            .unwrap();
+        let (alpha_hits_a, alpha_misses_a) = mapper_a.cache_alpha_stats();
+        assert_eq!(alpha_hits_a, 0, "first library has nothing to α-share");
+        assert!(alpha_misses_a > 0);
+
+        let mapper_b =
+            Mapper::with_shared_cache(&lib_b, MapperConfig::default(), Arc::clone(&cache));
+        let sol_b = mapper_b
+            .map_polynomial(&p("bx^2 + 2*bx*by + by^2"))
+            .unwrap();
+        let (alpha_hits_b, alpha_misses_b) = mapper_b.cache_alpha_stats();
+        assert_eq!(
+            alpha_misses_b, alpha_misses_a,
+            "the renamed search must not run a single new Buchberger core"
+        );
+        assert!(alpha_hits_b > 0, "renamed subsets produced no α-hits");
+        // Same structural solution either way, in each name space.
+        assert_eq!(sol_a.rewritten, p("as1^2"));
+        assert_eq!(sol_b.rewritten, p("bs1^2"));
+        assert!(sol_a.verify() && sol_b.verify());
     }
 
     #[test]
