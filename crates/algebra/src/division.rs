@@ -9,6 +9,7 @@
 
 use symmap_numeric::Rational;
 
+use crate::coeff::{normal_form_in, CPoly, DivisorView, RationalField};
 use crate::monomial::Monomial;
 use crate::ordering::MonomialOrder;
 use crate::poly::Poly;
@@ -61,6 +62,24 @@ impl PreparedDivisor {
         let (lm, lc) = poly.leading_term(order)?;
         let mask = lm.var_mask();
         Some(PreparedDivisor { poly, lm, lc, mask })
+    }
+}
+
+/// Lets the field-generic division loop in [`crate::coeff`] read a ℚ
+/// prepared divisor in place — the `Poly` term vector doubles as the generic
+/// `(Monomial, Rational)` term slice, so the hot path pays no conversion.
+impl DivisorView<RationalField> for PreparedDivisor {
+    fn lm(&self) -> &Monomial {
+        &self.lm
+    }
+    fn lc(&self) -> &Rational {
+        &self.lc
+    }
+    fn mask(&self) -> u64 {
+        self.mask
+    }
+    fn terms(&self) -> &[(Monomial, Rational)] {
+        self.poly.sorted_terms()
     }
 }
 
@@ -150,34 +169,20 @@ pub fn normal_form(f: &Poly, divisors: &[Poly], order: &MonomialOrder) -> Poly {
 /// Chooses the same divisor at every step as [`divide`] (the mask check only
 /// skips divisors whose leading monomial provably cannot divide the current
 /// term), so the remainder is byte-identical to `divide(..).remainder`.
+///
+/// Since PR 6 the loop itself lives in [`crate::coeff::normal_form_in`],
+/// shared with the ℤ/p fast path; this is its ℚ instantiation, reading the
+/// prepared divisors in place through [`DivisorView`] (no conversion) and
+/// moving the dividend's term vector in and out (no re-sort).
 pub fn prepared_normal_form(
     f: &Poly,
     divisors: &[PreparedDivisor],
     order: &MonomialOrder,
     skip: Option<usize>,
 ) -> Poly {
-    let mut remainder = Poly::zero();
-    let mut p = f.clone();
-    while let Some((lm_p, lc_p)) = p.leading_term(order) {
-        let t_mask = lm_p.var_mask();
-        let mut divided = false;
-        for (i, d) in divisors.iter().enumerate() {
-            if skip == Some(i) || d.mask & !t_mask != 0 {
-                continue;
-            }
-            if let Some(m_quot) = lm_p.div(&d.lm) {
-                let c_quot = &lc_p / &d.lc;
-                p.sub_scaled(&d.poly, &m_quot, &c_quot);
-                divided = true;
-                break;
-            }
-        }
-        if !divided {
-            remainder.add_term(&lm_p, &lc_p);
-            p.add_term(&lm_p, &-lc_p);
-        }
-    }
-    remainder
+    let p = CPoly::from_sorted_terms(f.sorted_terms().to_vec());
+    let r = normal_form_in(&RationalField, p, divisors, order, skip);
+    Poly::from_sorted_terms_unchecked(r.into_terms())
 }
 
 /// Returns `true` when `f` reduces to zero modulo the divisors, i.e. `f` lies

@@ -40,14 +40,16 @@
 //!   α-equivalent requests (same ideal up to variable renaming).
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
+use crate::coeff::{buchberger_core_in, CPoly, RationalField};
 use crate::division::{normal_form, prepared_normal_form, PreparedDivisor};
-use crate::monomial::Monomial;
+use crate::modular::{FpBasis, MAX_PRIME_ROTATIONS};
 use crate::ordering::MonomialOrder;
 use crate::poly::Poly;
 use crate::ring::Ring;
@@ -217,159 +219,6 @@ impl GroebnerBasis {
     }
 }
 
-/// A pending S-pair: basis indices, the cached lcm of the two leading
-/// monomials (computed once from the cached leading terms at push time, never
-/// recomputed), and the pair's sugar degree.
-#[derive(Debug)]
-struct SPair {
-    i: usize,
-    j: usize,
-    lcm: Monomial,
-    sugar: u32,
-}
-
-/// Deterministic binary min-heap of S-pairs under the normal selection
-/// strategy: smallest lcm first; ties broken by sugar degree when enabled,
-/// then by pair age (older generation first) so the pop order is a total,
-/// reproducible function of the push sequence.
-#[derive(Debug)]
-struct PairQueue {
-    heap: Vec<SPair>,
-    order: MonomialOrder,
-    sugar_tiebreak: bool,
-}
-
-impl PairQueue {
-    fn new(order: MonomialOrder, sugar_tiebreak: bool) -> Self {
-        PairQueue {
-            heap: Vec::new(),
-            order,
-            sugar_tiebreak,
-        }
-    }
-
-    fn less(&self, a: &SPair, b: &SPair) -> bool {
-        match self.order.cmp(&a.lcm, &b.lcm) {
-            std::cmp::Ordering::Less => true,
-            std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => {
-                if self.sugar_tiebreak && a.sugar != b.sugar {
-                    return a.sugar < b.sugar;
-                }
-                (a.j, a.i) < (b.j, b.i)
-            }
-        }
-    }
-
-    fn push(&mut self, pair: SPair) {
-        self.heap.push(pair);
-        let mut child = self.heap.len() - 1;
-        while child > 0 {
-            let parent = (child - 1) / 2;
-            if self.less(&self.heap[child], &self.heap[parent]) {
-                self.heap.swap(child, parent);
-                child = parent;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn pop(&mut self) -> Option<SPair> {
-        if self.heap.is_empty() {
-            return None;
-        }
-        let last = self.heap.len() - 1;
-        self.heap.swap(0, last);
-        let top = self.heap.pop().expect("nonempty");
-        let mut parent = 0;
-        loop {
-            let (l, r) = (2 * parent + 1, 2 * parent + 2);
-            let mut smallest = parent;
-            if l < self.heap.len() && self.less(&self.heap[l], &self.heap[smallest]) {
-                smallest = l;
-            }
-            if r < self.heap.len() && self.less(&self.heap[r], &self.heap[smallest]) {
-                smallest = r;
-            }
-            if smallest == parent {
-                break;
-            }
-            self.heap.swap(parent, smallest);
-            parent = smallest;
-        }
-        Some(top)
-    }
-}
-
-/// The Buchberger working state: the growing basis (with cached leading
-/// terms), per-element sugar degrees, the pair queue and the pending-pair set
-/// consulted by the chain criterion.
-struct Engine {
-    basis: Vec<PreparedDivisor>,
-    sugars: Vec<u32>,
-    queue: PairQueue,
-    pending: HashSet<(usize, usize)>,
-    options: GroebnerOptions,
-    skipped_coprime: usize,
-    skipped_chain: usize,
-}
-
-impl Engine {
-    /// Creates the pair `(i, j)` (with `i < j`) unless the coprime criterion
-    /// discards it outright. The lcm is computed once from the cached leading
-    /// monomials — `O(1)` term scans per pair.
-    fn push_pair(&mut self, i: usize, j: usize) {
-        let (lm_i, lm_j) = (&self.basis[i].lm, &self.basis[j].lm);
-        if self.options.use_coprime_criterion && lm_i.is_coprime_with(lm_j) {
-            self.skipped_coprime += 1;
-            return;
-        }
-        let lcm = lm_i.lcm(lm_j);
-        let deg = lcm.total_degree();
-        let sugar = (self.sugars[i] + deg - lm_i.total_degree())
-            .max(self.sugars[j] + deg - lm_j.total_degree());
-        self.pending.insert((i, j));
-        self.queue.push(SPair { i, j, lcm, sugar });
-    }
-
-    /// Buchberger's chain (second) criterion: `(i, j)` is redundant when some
-    /// third element's leading monomial divides the pair's lcm and both pairs
-    /// with that element have already been treated (popped or discarded —
-    /// i.e. no longer pending).
-    fn chain_skippable(&self, pair: &SPair) -> bool {
-        let lcm_mask = pair.lcm.var_mask();
-        (0..self.basis.len()).any(|k| {
-            k != pair.i
-                && k != pair.j
-                && self.basis[k].mask & !lcm_mask == 0
-                && self.basis[k].lm.divides(&pair.lcm)
-                && !self.pending.contains(&ordered(pair.i, k))
-                && !self.pending.contains(&ordered(pair.j, k))
-        })
-    }
-
-    /// S-polynomial of basis entries `i` and `j`, reusing the pair's cached
-    /// lcm and the entries' cached leading terms (entries are monic, so no
-    /// coefficient inversion is needed).
-    fn s_polynomial(&self, pair: &SPair) -> Poly {
-        let (f, g) = (&self.basis[pair.i], &self.basis[pair.j]);
-        let mf = pair.lcm.div(&f.lm).expect("lcm divisible by lm(f)");
-        let mg = pair.lcm.div(&g.lm).expect("lcm divisible by lm(g)");
-        let mut s = f.poly.mul_term(&mf, &f.lc.recip().expect("monic"));
-        s.sub_scaled(&g.poly, &mg, &g.lc.recip().expect("monic"));
-        s
-    }
-}
-
-fn ordered(a: usize, b: usize) -> (usize, usize) {
-    if a < b {
-        (a, b)
-    } else {
-        (b, a)
-    }
-}
-
 /// Basis data in whatever coordinate system the computation ran in — the
 /// ring-agnostic core result, wrapped into a [`GroebnerBasis`] (with the
 /// caller's order and global coordinates) at the ring boundary. Also the
@@ -388,78 +237,33 @@ struct CoreBasis {
 /// The Buchberger engine proper. Coordinate-agnostic: generators and order
 /// merely have to agree on a coordinate system; [`buchberger`] feeds it
 /// ring-local data, the [`buchberger_unringed`] oracle feeds it global data.
+///
+/// Since PR 6 this is a thin ℚ instantiation of the field-generic engine in
+/// [`crate::coeff`] (which ℤ/p shares — see [`crate::modular`]). The entry
+/// and exit conversions are zero-copy term-vector moves; the arithmetic
+/// performed is operation-for-operation identical to the historic concrete
+/// engine, pinned down by the seed-oracle differential tests below.
 fn buchberger_core(
     generators: &[Poly],
     order: &MonomialOrder,
     options: &GroebnerOptions,
 ) -> CoreBasis {
-    let basis: Vec<PreparedDivisor> = generators
+    let cgens: Vec<CPoly<RationalField>> = generators
         .iter()
-        .filter(|g| !g.is_zero())
-        .map(|g| PreparedDivisor::new(g.monic(order), order).expect("nonzero generator"))
+        .map(|g| CPoly::from_sorted_terms(g.sorted_terms().to_vec()))
         .collect();
-    if basis.is_empty() {
-        return CoreBasis {
-            polys: Vec::new().into(),
-            complete: true,
-            reductions: 0,
-            skipped_coprime: 0,
-            skipped_chain: 0,
-        };
-    }
-
-    let sugars = basis.iter().map(|e| e.poly.total_degree()).collect();
-    let mut engine = Engine {
-        basis,
-        sugars,
-        queue: PairQueue::new(order.clone(), options.use_sugar_tiebreak),
-        pending: HashSet::new(),
-        options: options.clone(),
-        skipped_coprime: 0,
-        skipped_chain: 0,
-    };
-    for i in 0..engine.basis.len() {
-        for j in (i + 1)..engine.basis.len() {
-            engine.push_pair(i, j);
-        }
-    }
-
-    let mut reductions = 0;
-    let mut complete = true;
-    while let Some(pair) = engine.queue.pop() {
-        engine.pending.remove(&(pair.i, pair.j));
-        if engine.options.use_chain_criterion && engine.chain_skippable(&pair) {
-            engine.skipped_chain += 1;
-            continue;
-        }
-        // The bound is checked only when a pair survives the criteria: skips
-        // are free, so a run whose tail pairs are all discarded by criteria
-        // still reports `complete` (no reduction work was actually pending).
-        if reductions >= engine.options.max_iterations {
-            complete = false;
-            break;
-        }
-        let s = engine.s_polynomial(&pair);
-        let r = prepared_normal_form(&s, &engine.basis, order, None);
-        reductions += 1;
-        if !r.is_zero() {
-            let entry = PreparedDivisor::new(r.monic(order), order).expect("nonzero remainder");
-            let new_index = engine.basis.len();
-            engine.basis.push(entry);
-            engine.sugars.push(pair.sugar);
-            for k in 0..new_index {
-                engine.push_pair(k, new_index);
-            }
-        }
-    }
-
-    let polys = auto_reduce(engine.basis, order);
+    let core = buchberger_core_in(&RationalField, &cgens, order, options);
+    let polys: Vec<Poly> = core
+        .polys
+        .into_iter()
+        .map(|p| Poly::from_sorted_terms_unchecked(p.into_terms()))
+        .collect();
     CoreBasis {
         polys: polys.into(),
-        complete,
-        reductions,
-        skipped_coprime: engine.skipped_coprime,
-        skipped_chain: engine.skipped_chain,
+        complete: core.complete,
+        reductions: core.reductions,
+        skipped_coprime: core.skipped_coprime,
+        skipped_chain: core.skipped_chain,
     }
 }
 
@@ -559,53 +363,6 @@ pub fn groebner_basis(generators: &[Poly], order: &MonomialOrder) -> GroebnerBas
     buchberger(generators, order, &GroebnerOptions::default())
 }
 
-/// Inter-reduces a basis: removes elements whose leading monomial is divisible
-/// by another element's leading monomial, then reduces each element's tail
-/// modulo the others, producing the reduced Gröbner basis.
-///
-/// Leading monomials come from the entries' caches, and the tail reductions
-/// use an index-skipping division over one shared slice — no element of the
-/// basis is ever cloned (the former implementation deep-cloned the entire
-/// rest of the basis for every tail reduction, `O(n²)` clones).
-fn auto_reduce(basis: Vec<PreparedDivisor>, order: &MonomialOrder) -> Vec<Poly> {
-    // Drop redundant elements (leading monomial divisible by another's).
-    let mut keep = vec![true; basis.len()];
-    for i in 0..basis.len() {
-        if !keep[i] {
-            continue;
-        }
-        for j in 0..basis.len() {
-            if i == j || !keep[j] {
-                continue;
-            }
-            let (lm_i, lm_j) = (&basis[i].lm, &basis[j].lm);
-            if lm_j.divides(lm_i) && (lm_i != lm_j || j < i) {
-                keep[i] = false;
-                break;
-            }
-        }
-    }
-    let kept: Vec<PreparedDivisor> = basis
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(e, k)| if k { Some(e) } else { None })
-        .collect();
-
-    // Tail-reduce each element modulo the others. No other kept leading
-    // monomial divides lm_i, so the remainder keeps lm_i (and stays monic
-    // and nonzero); the cached leading monomial remains valid for sorting.
-    let mut reduced: Vec<(Monomial, Poly)> = Vec::with_capacity(kept.len());
-    for i in 0..kept.len() {
-        let r = prepared_normal_form(&kept[i].poly, &kept, order, Some(i));
-        if !r.is_zero() {
-            reduced.push((kept[i].lm.clone(), r.monic(order)));
-        }
-    }
-    // Canonical output order: sort by leading monomial, largest first.
-    reduced.sort_by(|(la, _), (lb, _)| order.cmp(lb, la));
-    reduced.into_iter().map(|(_, p)| p).collect()
-}
-
 /// Sizing of a [`SharedGroebnerCache`]: lock shards and bounded capacity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -617,6 +374,12 @@ pub struct CacheConfig {
     /// When a shard exceeds its slice, its oldest *inserted* entry is evicted
     /// (deterministic insertion-order eviction).
     pub capacity: usize,
+    /// Enables the modular (ℤ/p) membership prefilter layer
+    /// ([`SharedGroebnerCache::probe_membership`]). Off by default: the
+    /// probe is advisory in this phase (every answer is confirmed by the
+    /// exact ℚ computation), so enabling it trades extra mod-p work for
+    /// prefilter telemetry and, later, early candidate rejection.
+    pub modular_prefilter: bool,
 }
 
 impl Default for CacheConfig {
@@ -624,6 +387,7 @@ impl Default for CacheConfig {
         CacheConfig {
             shards: 8,
             capacity: 4096,
+            modular_prefilter: false,
         }
     }
 }
@@ -686,6 +450,53 @@ impl LocalShard {
                 self.stats.len -= 1;
                 self.stats.evictions += 1;
             }
+        }
+    }
+}
+
+/// One lock-striped slice of the modular-prefilter layer: ring-local key →
+/// memoized mod-p basis. `None` entries record ideals for which every
+/// candidate prime was unlucky, so they are not retried on every probe.
+/// FIFO-bounded like the other layers.
+#[derive(Debug, Default)]
+struct FpShard {
+    entries: HashMap<LocalKey, Arc<Option<FpBasis>>>,
+    queue: VecDeque<LocalKey>,
+}
+
+impl FpShard {
+    fn evict_oldest(&mut self) {
+        if let Some(key) = self.queue.pop_front() {
+            self.entries.remove(&key);
+        }
+    }
+}
+
+/// Point-in-time counters of the modular prefilter
+/// ([`SharedGroebnerCache::fp_probe_stats`]). All zero when the prefilter
+/// is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FpProbeStats {
+    /// Probes whose target reduced to zero mod p (membership *maybe* — the
+    /// exact run decides).
+    pub fp_hits: usize,
+    /// Probes whose target had a nonzero normal form under a complete mod-p
+    /// basis (sound non-membership, modulo cofactor luck; see
+    /// [`crate::modular`]).
+    pub fp_rejects: usize,
+    /// Unlucky primes rotated past while computing mod-p bases (counts
+    /// [`MAX_PRIME_ROTATIONS`] for an ideal that exhausted the rotation
+    /// budget).
+    pub unlucky_primes: usize,
+}
+
+impl FpProbeStats {
+    /// Counter increments between an earlier snapshot and this one.
+    pub fn delta_since(&self, earlier: &FpProbeStats) -> FpProbeStats {
+        FpProbeStats {
+            fp_hits: self.fp_hits - earlier.fp_hits,
+            fp_rejects: self.fp_rejects - earlier.fp_rejects,
+            unlucky_primes: self.unlucky_primes - earlier.unlucky_primes,
         }
     }
 }
@@ -771,6 +582,13 @@ pub struct SharedGroebnerCache {
     /// global layer because α-equivalent global keys hash to unrelated
     /// global shards.
     local_shards: Box<[Mutex<LocalShard>]>,
+    /// The modular-prefilter layer, allocated only when
+    /// [`CacheConfig::modular_prefilter`] is set — the disabled path costs
+    /// one `is_some` check per probe and nothing per basis lookup.
+    fp_shards: Option<Box<[Mutex<FpShard>]>>,
+    fp_hits: AtomicUsize,
+    fp_rejects: AtomicUsize,
+    unlucky_primes: AtomicUsize,
     per_shard_capacity: usize,
 }
 
@@ -811,6 +629,14 @@ impl SharedGroebnerCache {
             local_shards: (0..shards)
                 .map(|_| Mutex::new(LocalShard::default()))
                 .collect(),
+            fp_shards: config.modular_prefilter.then(|| {
+                (0..shards)
+                    .map(|_| Mutex::new(FpShard::default()))
+                    .collect()
+            }),
+            fp_hits: AtomicUsize::new(0),
+            fp_rejects: AtomicUsize::new(0),
+            unlucky_primes: AtomicUsize::new(0),
             per_shard_capacity,
         }
     }
@@ -1000,12 +826,112 @@ impl SharedGroebnerCache {
     pub fn alpha_shard_stats(&self) -> Vec<CacheShardStats> {
         self.local_shards.iter().map(|s| s.lock().stats).collect()
     }
+
+    /// Whether the modular (ℤ/p) prefilter layer is enabled
+    /// ([`CacheConfig::modular_prefilter`]).
+    pub fn modular_enabled(&self) -> bool {
+        self.fp_shards.is_some()
+    }
+
+    /// Point-in-time counters of the modular prefilter. Counter totals under
+    /// concurrency are timing-dependent (like the shard stats), but probe
+    /// *answers* never are.
+    pub fn fp_probe_stats(&self) -> FpProbeStats {
+        FpProbeStats {
+            fp_hits: self.fp_hits.load(Ordering::Relaxed),
+            fp_rejects: self.fp_rejects.load(Ordering::Relaxed),
+            unlucky_primes: self.unlucky_primes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the memoized mod-p basis of a ring-local canonical form
+    /// (sharing the α-canonical [`LocalKey`] discipline of
+    /// [`SharedGroebnerCache::local_basis`]), computing it outside the shard
+    /// lock on first use. `None` inside the `Arc` records an ideal whose
+    /// rotation budget was exhausted by unlucky primes.
+    fn fp_basis_for(&self, key: LocalKey, options: &GroebnerOptions) -> Arc<Option<FpBasis>> {
+        let shards = self
+            .fp_shards
+            .as_ref()
+            .expect("caller checked modular_enabled");
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = &shards[(hasher.finish() % shards.len() as u64) as usize];
+        {
+            let locked = shard.lock();
+            if let Some(hit) = locked.entries.get(&key) {
+                return Arc::clone(hit);
+            }
+        }
+        let computed = FpBasis::compute(&key.2, &key.0, options);
+        let rotations = computed
+            .as_ref()
+            .map_or(MAX_PRIME_ROTATIONS, |b| b.rotations);
+        if rotations > 0 {
+            self.unlucky_primes.fetch_add(rotations, Ordering::Relaxed);
+        }
+        let value = Arc::new(computed);
+        let mut locked = shard.lock();
+        let locked = &mut *locked;
+        if let Some(existing) = locked.entries.get(&key) {
+            return Arc::clone(existing);
+        }
+        locked.entries.insert(key.clone(), Arc::clone(&value));
+        locked.queue.push_back(key);
+        while locked.entries.len() > self.per_shard_capacity {
+            locked.evict_oldest();
+        }
+        value
+    }
+
+    /// Cheap mod-p membership probe: does `target` reduce to zero modulo the
+    /// ideal of `generators`?
+    ///
+    /// * `Some(false)` — nonzero normal form under a **complete** mod-p
+    ///   basis: `target` is not in the ideal (sound away from cofactor-level
+    ///   unlucky primes; see [`crate::modular`] for why callers must still
+    ///   confirm with the exact run before acting on it).
+    /// * `Some(true)` — the image reduces to zero: membership is *likely*
+    ///   but never certified by a single prime.
+    /// * `None` — no answer: prefilter disabled, target has variables
+    ///   outside the ideal's ring or a denominator divisible by p, every
+    ///   candidate prime was unlucky, or the mod-p run hit its iteration
+    ///   bound with a nonzero normal form.
+    ///
+    /// In this phase the answer feeds only the [`FpProbeStats`] counters —
+    /// the mapper's exact ℚ reduction always runs and always decides — so
+    /// mapper output is identical with the prefilter on or off.
+    pub fn probe_membership(
+        &self,
+        generators: &[Poly],
+        order: &MonomialOrder,
+        options: &GroebnerOptions,
+        target: &Poly,
+    ) -> Option<bool> {
+        self.fp_shards.as_ref()?;
+        let (ring, lgens, lorder) = ring_localized(generators, order);
+        let ltarget = ring.try_localize_poly(target)?;
+        let fp = self.fp_basis_for((lorder, options.clone(), lgens), options);
+        let basis = fp.as_ref().as_ref()?;
+        match basis.reduces_to_zero(&ltarget)? {
+            true => {
+                self.fp_hits.fetch_add(1, Ordering::Relaxed);
+                Some(true)
+            }
+            false if basis.complete => {
+                self.fp_rejects.fetch_add(1, Ordering::Relaxed);
+                Some(false)
+            }
+            false => None,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::division::{normal_form, reduces_to_zero, s_polynomial};
+    use crate::monomial::Monomial;
     use crate::var::Var;
     use proptest::prelude::*;
 
@@ -1136,6 +1062,59 @@ mod tests {
         let gens = vec![p("x + y - s"), p("x - y - d"), p("x*y - q"), p("x^2 - sx")];
         let order = MonomialOrder::lex(&["x", "y", "s", "d", "q", "sx"]);
         (gens, order)
+    }
+
+    #[test]
+    fn modular_probe_answers_and_counts_without_touching_exact_counters() {
+        let (gens, order) = mapper_side_relation_ideal();
+        let options = GroebnerOptions::default();
+        let cache = SharedGroebnerCache::with_config(CacheConfig {
+            modular_prefilter: true,
+            ..CacheConfig::default()
+        });
+        assert!(cache.modular_enabled());
+        let member = p("x + y - s");
+        let non_member = p("x + 1");
+        assert_eq!(
+            cache.probe_membership(&gens, &order, &options, &member),
+            Some(true)
+        );
+        assert_eq!(
+            cache.probe_membership(&gens, &order, &options, &non_member),
+            Some(false)
+        );
+        // Second probe of the same ideal reuses the memoized mod-p basis and
+        // only bumps the probe counters.
+        assert_eq!(
+            cache.probe_membership(&gens, &order, &options, &member),
+            Some(true)
+        );
+        let stats = cache.fp_probe_stats();
+        assert_eq!(
+            (stats.fp_hits, stats.fp_rejects, stats.unlucky_primes),
+            (2, 1, 0)
+        );
+        // The probe layer never disturbs the exact layers' counters.
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!((cache.alpha_hits(), cache.alpha_misses()), (0, 0));
+        // A target with a variable outside the ideal's ring gets no answer.
+        let foreign = p("x + zz_foreign");
+        assert_eq!(
+            cache.probe_membership(&gens, &order, &options, &foreign),
+            None
+        );
+    }
+
+    #[test]
+    fn modular_probe_is_disabled_by_default() {
+        let (gens, order) = mapper_side_relation_ideal();
+        let cache = SharedGroebnerCache::new();
+        assert!(!cache.modular_enabled());
+        assert_eq!(
+            cache.probe_membership(&gens, &order, &GroebnerOptions::default(), &p("x + 1")),
+            None
+        );
+        assert_eq!(cache.fp_probe_stats(), FpProbeStats::default());
     }
 
     #[test]
@@ -1439,6 +1418,7 @@ mod tests {
         let cache = SharedGroebnerCache::with_config(CacheConfig {
             shards: 1,
             capacity: 2,
+            ..CacheConfig::default()
         });
         assert_eq!(cache.capacity(), 2);
         let order = MonomialOrder::lex(&["x", "y"]);
@@ -1467,6 +1447,7 @@ mod tests {
         let cache = SharedGroebnerCache::with_config(CacheConfig {
             shards: 2,
             capacity: 4,
+            ..CacheConfig::default()
         });
         let order = MonomialOrder::lex(&["x"]);
         let opts = GroebnerOptions::default();
@@ -1639,6 +1620,7 @@ mod tests {
         let cache = SharedGroebnerCache::with_config(CacheConfig {
             shards: 2,
             capacity: 4,
+            ..CacheConfig::default()
         });
         let order = MonomialOrder::lex(&["x"]);
         let opts = GroebnerOptions::default();

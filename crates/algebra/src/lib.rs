@@ -14,7 +14,12 @@
 //!   scales with the ideal's variable count, never with how many symbols the
 //!   process-wide interner holds,
 //! * multi-divisor polynomial division / normal forms ([`division`]),
+//! * a generic coefficient layer ([`coeff`]) — one Buchberger engine and one
+//!   division loop parameterized over the coefficient field, instantiated by
+//!   ℚ and by ℤ/p,
 //! * Buchberger's algorithm for Gröbner bases ([`groebner`]),
+//! * a modular (ℤ/p) Gröbner fast path ([`modular`]) — the sound
+//!   membership prefilter used by the mapper's shared cache,
 //! * **simplification modulo a set of side relations** ([`simplify`]) — the
 //!   core primitive of the library-mapping algorithm,
 //! * factorization, expansion and Horner (nested) forms ([`factor`], [`horner`]),
@@ -39,6 +44,7 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod coeff;
 pub mod division;
 pub mod eliminate;
 pub mod error;
@@ -46,6 +52,7 @@ pub mod expr;
 pub mod factor;
 pub mod groebner;
 pub mod horner;
+pub mod modular;
 pub mod monomial;
 pub mod ordering;
 pub mod parse;

@@ -190,6 +190,13 @@ impl Poly {
         Poly { terms }
     }
 
+    /// The raw term vector, strictly descending in the canonical monomial
+    /// order — the zero-copy boundary to the generic coefficient layer
+    /// ([`crate::coeff`]), which shares this storage invariant.
+    pub(crate) fn sorted_terms(&self) -> &[Term] {
+        &self.terms
+    }
+
     /// Parses a textual polynomial such as `"x^2 + 2*x*y - 3/2"`.
     ///
     /// The grammar accepts `+ - * ^ ( )`, integer and rational/decimal

@@ -1,0 +1,201 @@
+//! Differential tests of the modular (ℤ/p) Gröbner path against the exact
+//! ℚ path: on the bench-budget ideals, across every `GroebnerOptions`
+//! combination and the first primes of the deterministic rotation sequence,
+//! the mod-p reduced basis must expose the same leading-monomial set as the
+//! exact basis, and exact ideal membership must transfer to a mod-p zero
+//! (the one-directional certificate the cache's prefilter relies on).
+
+use proptest::prelude::*;
+use symmap_algebra::groebner::{buchberger, CacheConfig, GroebnerOptions, SharedGroebnerCache};
+use symmap_algebra::modular::{FpBasis, UnluckyPrime};
+use symmap_algebra::ordering::MonomialOrder;
+use symmap_algebra::poly::Poly;
+use symmap_algebra::simplify::{simplify_modulo_cached, SideRelations};
+use symmap_algebra::Monomial;
+use symmap_numeric::{PrimeIterator, Rational};
+
+fn p(s: &str) -> Poly {
+    Poly::parse(s).unwrap()
+}
+
+/// The three bench-budget ideals (`crates/bench/src/budgets.rs`), inlined so
+/// this suite does not depend on the bench crate.
+fn budget_ideals() -> Vec<(&'static str, Vec<Poly>, MonomialOrder)> {
+    vec![
+        (
+            "twisted-cubic",
+            vec![p("x^2 - y"), p("x^3 - z")],
+            MonomialOrder::lex(&["x", "y", "z"]),
+        ),
+        (
+            "mapper-side-relations",
+            vec![p("x + y - s"), p("x - y - d"), p("x*y - q"), p("x^2 - sx")],
+            MonomialOrder::lex(&["x", "y", "s", "d", "q", "sx"]),
+        ),
+        (
+            "circle-system",
+            vec![p("x^2 + y^2 + z^2 - 1"), p("x*y - z"), p("x - y + z^2")],
+            MonomialOrder::grevlex(&["x", "y", "z"]),
+        ),
+    ]
+}
+
+/// All 8 ablation combinations of the Buchberger criteria/tiebreak.
+fn option_combinations() -> Vec<GroebnerOptions> {
+    let mut combos = Vec::new();
+    for coprime in [true, false] {
+        for chain in [true, false] {
+            for sugar in [true, false] {
+                combos.push(GroebnerOptions {
+                    use_coprime_criterion: coprime,
+                    use_chain_criterion: chain,
+                    use_sugar_tiebreak: sugar,
+                    ..Default::default()
+                });
+            }
+        }
+    }
+    combos
+}
+
+fn first_primes(n: usize) -> Vec<u64> {
+    PrimeIterator::new().take(n).collect()
+}
+
+#[test]
+fn modp_basis_matches_exact_leading_monomials_across_options_and_primes() {
+    let primes = first_primes(3);
+    for (name, gens, order) in budget_ideals() {
+        for options in option_combinations() {
+            let exact = buchberger(&gens, &order, &options);
+            assert!(exact.complete, "{name}: exact run must complete");
+            let exact_lms: Vec<Monomial> = exact
+                .polys()
+                .iter()
+                .map(|g| g.leading_monomial(&order).unwrap())
+                .collect();
+            for &prime in &primes {
+                let fp = FpBasis::with_prime(prime, &gens, &order, &options)
+                    .unwrap_or_else(|e| panic!("{name}: prime {prime} unlucky: {e:?}"));
+                assert!(fp.complete, "{name} mod {prime}");
+                assert_eq!(
+                    fp.leading_monomials(),
+                    exact_lms,
+                    "{name} mod {prime}: leading-monomial sets differ"
+                );
+                // Membership transfers: every exact basis element is in the
+                // ideal, so its image must reduce to zero mod p.
+                for g in exact.polys() {
+                    assert_eq!(fp.reduces_to_zero(g), Some(true), "{name} mod {prime}");
+                }
+                // The probe's reject direction on an obvious non-member.
+                assert_eq!(
+                    fp.reduces_to_zero(&p("x + 1")),
+                    Some(false),
+                    "{name} mod {prime}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ℚ `normal_form == 0` ⟹ mod-p `normal_form == 0`: random integer
+    /// combinations `Σ hᵢ·gᵢ` are exact members with p-integral cofactors,
+    /// so the certificate must transfer at every prime and option set.
+    #[test]
+    fn prop_exact_members_reduce_to_zero_mod_p(
+        ideal_idx in 0usize..3,
+        options_idx in 0usize..8,
+        prime_idx in 0usize..3,
+        coeffs in proptest::collection::vec(-4i64..=4, 12..13),
+    ) {
+        let (name, gens, order) = budget_ideals().swap_remove(ideal_idx);
+        let options = option_combinations().swap_remove(options_idx);
+        let prime = first_primes(3)[prime_idx];
+
+        // hᵢ drawn from a small multiplier pool with proptest coefficients.
+        let multipliers = [p("1"), p("x"), p("y"), p("x*y - 2")];
+        let mut member = Poly::zero();
+        for (k, &c) in coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let g = &gens[k % gens.len()];
+            let h = &multipliers[k % multipliers.len()];
+            member = member.add(&g.mul(h).scale(&Rational::from(c)));
+        }
+
+        let exact = buchberger(&gens, &order, &options);
+        prop_assert!(exact.reduce(&member).is_zero(), "{} member not reduced", name);
+        let fp = FpBasis::with_prime(prime, &gens, &order, &options)
+            .unwrap_or_else(|e| panic!("{name}: prime {prime} unlucky: {e:?}"));
+        prop_assert_eq!(fp.reduces_to_zero(&member), Some(true));
+    }
+}
+
+/// Unlucky-prime regression at the simplify level: a side relation whose
+/// coefficient denominator is the seed prime forces a deterministic rotation,
+/// and the simplified result is identical with the prefilter on and off.
+#[test]
+fn unlucky_prime_rotation_leaves_simplify_output_unchanged() {
+    let primes = first_primes(2);
+    let mut sr = SideRelations::new();
+    // body = x^2 - (1/p) — the seed prime divides the denominator.
+    let body = p("x^2").add(&Poly::from_terms([(
+        Monomial::one(),
+        -Rational::new(1, primes[0] as i64),
+    )]));
+    sr.push("s", body).unwrap();
+    let target = p("x^4 + x^2 + 1");
+    let order = ["x", "s"];
+    let options = GroebnerOptions::default();
+
+    let plain_cache = SharedGroebnerCache::new();
+    let plain = simplify_modulo_cached(&target, &sr, &order, &options, &plain_cache).unwrap();
+
+    let modular_cache = SharedGroebnerCache::with_config(CacheConfig {
+        modular_prefilter: true,
+        ..CacheConfig::default()
+    });
+    let filtered = simplify_modulo_cached(&target, &sr, &order, &options, &modular_cache).unwrap();
+
+    assert_eq!(plain.result, filtered.result);
+    assert_eq!(plain.complete, filtered.complete);
+    assert_eq!(plain.reductions, filtered.reductions);
+    // The probe rotated past exactly the one unlucky seed prime.
+    let stats = modular_cache.fp_probe_stats();
+    assert_eq!(stats.unlucky_primes, 1);
+    // And the exact-layer activity is identical to the plain cache's.
+    assert_eq!(
+        (plain_cache.hits(), plain_cache.misses()),
+        (modular_cache.hits(), modular_cache.misses())
+    );
+}
+
+/// The rotation sequence itself is deterministic: the same unlucky ideal
+/// always lands on the same fallback prime.
+#[test]
+fn unlucky_prime_rotation_is_deterministic() {
+    let primes = first_primes(3);
+    let order = MonomialOrder::lex(&["x", "y"]);
+    let options = GroebnerOptions::default();
+    // Denominator unlucky for the first TWO primes: rotate twice.
+    let den = Rational::new(1, primes[0] as i64) * Rational::new(1, primes[1] as i64);
+    let gens = [p("x^2 - y").add(&Poly::from_terms([(Monomial::one(), den)]))];
+    assert_eq!(
+        FpBasis::with_prime(primes[0], &gens, &order, &options).unwrap_err(),
+        UnluckyPrime::Denominator
+    );
+    assert_eq!(
+        FpBasis::with_prime(primes[1], &gens, &order, &options).unwrap_err(),
+        UnluckyPrime::Denominator
+    );
+    for _ in 0..3 {
+        let fp = FpBasis::compute(&gens, &order, &options).unwrap();
+        assert_eq!(fp.rotations, 2);
+        assert_eq!(fp.prime(), primes[2]);
+    }
+}

@@ -155,6 +155,13 @@ pub fn render_engine_stats(stats: &EngineStats) -> String {
         stats.cache_alpha_hits(),
         stats.cache_alpha_misses(),
     ));
+    if stats.fp_hits + stats.fp_rejects + stats.unlucky_primes > 0 {
+        out.push_str(&format!(
+            "  modular prefilter: {} mod-p zero / {} mod-p nonzero probes, \
+             {} unlucky primes rotated\n",
+            stats.fp_hits, stats.fp_rejects, stats.unlucky_primes,
+        ));
+    }
     for (i, shard) in stats.cache_shards.iter().enumerate() {
         // Shards untouched by the batch (and currently empty) add no signal.
         if shard.hits + shard.misses + shard.evictions + shard.len == 0 {

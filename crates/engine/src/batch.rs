@@ -51,18 +51,25 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Bounded capacity (in memoized bases) of the shared Gröbner cache.
     pub cache_capacity: usize,
+    /// Enables the cache's modular (ℤ/p) membership prefilter. Advisory in
+    /// this phase: mapper output is byte-identical with it on or off — the
+    /// probe only adds mod-p telemetry to [`EngineStats`].
+    pub modular_prefilter: bool,
 }
 
 impl Default for EngineConfig {
     /// One worker — the sequential path — unless the `SYMMAP_TEST_WORKERS`
     /// environment variable overrides it (CI sets it to 4 so the whole test
     /// suite exercises the parallel path; output is identical either way).
+    /// The modular prefilter is off unless `SYMMAP_TEST_MODULAR` enables it
+    /// the same way (CI runs the suite a third time with it on).
     fn default() -> Self {
         let cache = CacheConfig::default();
         EngineConfig {
             workers: workers_from_env().unwrap_or(1),
             cache_shards: cache.shards,
             cache_capacity: cache.capacity,
+            modular_prefilter: modular_from_env().unwrap_or(false),
         }
     }
 }
@@ -73,6 +80,7 @@ impl EngineConfig {
         CacheConfig {
             shards: self.cache_shards,
             capacity: self.cache_capacity,
+            modular_prefilter: self.modular_prefilter,
         }
     }
 }
@@ -84,6 +92,13 @@ fn workers_from_env() -> Option<usize> {
         .parse()
         .ok()
         .filter(|&w| w >= 1)
+}
+
+fn modular_from_env() -> Option<bool> {
+    match std::env::var("SYMMAP_TEST_MODULAR").ok()?.trim() {
+        "" | "0" => Some(false),
+        _ => Some(true),
+    }
 }
 
 /// One library-mapping problem in a batch.
@@ -143,6 +158,15 @@ pub struct EngineStats {
     /// — was already memoized, so only a cheap globalization ran instead of
     /// a Buchberger computation.
     pub alpha_shards: Vec<CacheShardStats>,
+    /// Modular-prefilter probes during this batch whose target reduced to
+    /// zero mod p (membership *likely*; the exact run decides). Zero when
+    /// the prefilter is disabled.
+    pub fp_hits: usize,
+    /// Probes whose target had a nonzero normal form under a complete mod-p
+    /// basis (non-membership, confirmed by the exact run in this phase).
+    pub fp_rejects: usize,
+    /// Unlucky primes rotated past while computing mod-p bases this batch.
+    pub unlucky_primes: usize,
 }
 
 impl EngineStats {
@@ -253,6 +277,7 @@ impl MappingEngine {
         let start = Instant::now();
         let before = self.cache.shard_stats();
         let alpha_before = self.cache.alpha_shard_stats();
+        let fp_before = self.cache.fp_probe_stats();
 
         // Close the interner side channel: intern every output symbol on this
         // thread, in job order, before any worker can race to it.
@@ -282,6 +307,7 @@ impl MappingEngine {
             .zip(&alpha_before)
             .map(|(after, before)| after.delta_since(before))
             .collect();
+        let fp = self.cache.fp_probe_stats().delta_since(&fp_before);
         BatchResult {
             outcomes,
             stats: EngineStats {
@@ -291,6 +317,9 @@ impl MappingEngine {
                 wall: start.elapsed(),
                 cache_shards,
                 alpha_shards,
+                fp_hits: fp.fp_hits,
+                fp_rejects: fp.fp_rejects,
+                unlucky_primes: fp.unlucky_primes,
             },
         }
     }

@@ -436,6 +436,30 @@ impl BigInt {
     pub fn is_even(&self) -> bool {
         self.limbs.first().is_none_or(|l| l % 2 == 0)
     }
+
+    /// Least non-negative residue of `self` modulo `m`: the value in
+    /// `0..m` congruent to `self`. Used to localize rational coefficients
+    /// into ℤ/p without materialising a quotient.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m == 0`.
+    pub fn mod_u64(&self, m: u64) -> u64 {
+        assert!(m > 0, "modulus must be positive");
+        let m128 = m as u128;
+        // Horner over the little-endian base-2³² limbs, high limb first;
+        // the accumulator stays below m·2³² < 2⁹⁶.
+        let mut acc: u128 = 0;
+        for &l in self.limbs.iter().rev() {
+            acc = ((acc << 32) | l as u128) % m128;
+        }
+        let r = acc as u64;
+        if self.is_negative() && r != 0 {
+            m - r
+        } else {
+            r
+        }
+    }
 }
 
 impl Default for BigInt {

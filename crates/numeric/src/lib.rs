@@ -12,6 +12,9 @@
 //! * [`rational::Rational`] — exact rationals with an inline `i64`/`u64`
 //!   fast path, promoting to [`bigint::BigInt`] pairs only on checked
 //!   overflow (typical Gröbner coefficients never allocate),
+//! * [`fp64::Fp64`] — ℤ/p arithmetic for 62-bit primes in Montgomery form,
+//!   plus a deterministic [`fp64::PrimeIterator`]; the substrate of the
+//!   modular Gröbner prefilter,
 //! * [`fixed::Fixed`] — parameterised Q-format fixed-point values as used by the
 //!   in-house ("IH") library of the paper,
 //! * [`series`] — Taylor and Chebyshev expansions used in target-code
@@ -34,6 +37,7 @@
 pub mod bigint;
 pub mod error;
 pub mod fixed;
+pub mod fp64;
 pub mod interp;
 pub mod rational;
 pub mod series;
@@ -41,4 +45,5 @@ pub mod series;
 pub use bigint::BigInt;
 pub use error::NumericError;
 pub use fixed::{Fixed, QFormat};
+pub use fp64::{Fp64, PrimeIterator};
 pub use rational::Rational;
