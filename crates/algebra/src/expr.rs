@@ -8,6 +8,9 @@
 //! non-polynomial leaves (calls to `exp`, `log`, …) so the identification step
 //! can decide where to substitute a series approximation.
 
+// lint:allow-file(D3): eval_f64 is the explicit float *boundary* — a
+// diagnostic evaluator for spot-checking expressions numerically. The
+// mapping pipeline itself never consumes its results.
 use std::collections::BTreeMap;
 use std::fmt;
 

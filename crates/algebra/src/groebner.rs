@@ -419,6 +419,15 @@ impl CacheShardStats {
     }
 }
 
+// Determinism audit (rule D1, symmap-lint): the cache layers below keep
+// their entries in HashMaps, which is safe ONLY because no code path ever
+// iterates them — every access is a point lookup (`get`/`entry`/`remove`)
+// keyed by an owned `CacheKey`/`LocalKey`. Eviction order comes from the
+// FIFO `queue: VecDeque<…>` (front = victim), never from map iteration;
+// aggregate stats (`hits()`, `len()`, `shard_stats()`, …) iterate the
+// *shard slice* `Box<[Mutex<…>]>`, whose order is the fixed array order.
+// Anyone adding a render/debug path that walks `entries` must sort the
+// keys first or switch the layer to a BTreeMap.
 /// The per-order level of a shard.
 type OptionsMap = HashMap<GroebnerOptions, GeneratorMap>;
 /// The per-(order, options) generator-set level of a shard.

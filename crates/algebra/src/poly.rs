@@ -1,5 +1,7 @@
 //! Multivariate polynomials over exact rationals.
 
+// lint:allow-file(D3): eval_f64 and the test that cross-checks it are the
+// declared float boundary; all polynomial arithmetic is exact Rational.
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;

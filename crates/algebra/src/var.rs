@@ -88,9 +88,15 @@ impl NameTable {
             // Release store publishes the zeroed segment.
             self.segments[seg].store(ptr, AtomicOrdering::Release);
         }
-        // SAFETY: `ptr` points at a leaked slice of `segment_len(seg)`
-        // OnceLocks that is never freed, and `offset < segment_len(seg)` by
-        // construction of `locate`.
+        // SAFETY: `ptr` is non-null and points at a leaked (never freed)
+        // slice of exactly `segment_len(seg)` OnceLocks: it is either the
+        // allocation made just above on this thread, or one published by a
+        // previous `intern` call's Release store — which this function's
+        // Acquire load pairs with, making the fully initialized slice
+        // visible. Interners never store any other value, the slice is
+        // leaked via Box::leak so the 'static lifetime is real, and
+        // `offset < segment_len(seg)` by construction of `locate`, so the
+        // pointer arithmetic stays in bounds of the one allocation.
         let slot = unsafe { &*ptr.add(offset) };
         slot.set(leaked).expect("fresh interner slot set twice");
         map.insert(leaked, idx);
@@ -104,9 +110,16 @@ impl NameTable {
         let (seg, offset) = locate(index);
         let ptr = self.segments[seg].load(AtomicOrdering::Acquire);
         assert!(!ptr.is_null(), "unknown variable index {index}");
-        // SAFETY: segments are leaked (never freed) and sized by
-        // `segment_len`; a non-null pointer means the segment is fully
-        // allocated, and `offset` is in bounds by `locate`.
+        // SAFETY: the only non-null value ever stored into
+        // `segments[seg]` is the Box::leak'd slice of `segment_len(seg)`
+        // OnceLocks published by `intern`'s Release store; the Acquire load
+        // above pairs with it, so observing non-null here guarantees the
+        // whole allocation (and every OnceLock in it) is visible and alive
+        // forever (leaked, never freed). A caller-supplied `index` only
+        // reaches a published slot because `intern` sets the slot's
+        // OnceLock under the interner mutex *before* the index escapes to
+        // any caller, and `offset < segment_len(seg)` by construction of
+        // `locate` keeps the pointer arithmetic in bounds.
         let slot = unsafe { &*ptr.add(offset) };
         slot.get().expect("variable index not yet published")
     }

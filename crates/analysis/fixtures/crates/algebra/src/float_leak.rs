@@ -1,0 +1,16 @@
+// Fixture: rule D3 — float arithmetic inside an exact-algebra module.
+// Expected findings: both `f64`/`f32` signature lines, the `0.5` literal
+// line, and the `as f32` cast line (one finding per offending line).
+// Integer ranges and int method calls must NOT be flagged.
+pub fn halve(x: f64) -> f64 {
+    // D3 (f64 tokens on the signature line above; literal here)
+    x * 0.5 // D3
+}
+
+pub fn narrow(x: i64) -> f32 {
+    x as f32 // D3
+}
+
+pub fn ints_are_fine() -> usize {
+    (0..10).map(|i| i.max(2)).sum()
+}

@@ -1,0 +1,39 @@
+// Fixture: rule D1 — unordered hash-container iteration. Expected findings:
+// the `.iter()` call, the `for` loop, the `.keys()` through the type alias,
+// and the `.drain()` on a let-bound set. Point lookups must NOT be flagged.
+use std::collections::{HashMap, HashSet};
+
+type Registry = HashMap<String, u32>;
+
+struct Caches {
+    entries: HashMap<u32, u32>,
+}
+
+impl Caches {
+    fn point_lookups_are_fine(&self) -> Option<&u32> {
+        self.entries.get(&1)
+    }
+
+    fn bad_iter(&self) -> usize {
+        self.entries.iter().count() // D1
+    }
+
+    fn bad_for_loop(&self) -> u32 {
+        let mut total = 0;
+        for (_k, v) in &self.entries {
+            // D1 (flagged on the `for` line)
+            total += v;
+        }
+        total
+    }
+}
+
+fn bad_alias_keys(reg: &Registry) -> Vec<String> {
+    reg.keys().cloned().collect() // D1
+}
+
+fn bad_let_drain() -> usize {
+    let mut seen = HashSet::new();
+    seen.insert(7u32);
+    seen.drain().count() // D1
+}

@@ -1,0 +1,14 @@
+// Fixture: negative case — timing and env reads under `crates/bench/` are
+// exempt from D2/D5 by the built-in allowlist (benchmarks are where wall
+// clocks live). Expected findings: none.
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}
+
+pub fn quick_mode() -> bool {
+    std::env::var("SYMMAP_QUICK").is_ok()
+}

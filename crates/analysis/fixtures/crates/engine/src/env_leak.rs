@@ -1,0 +1,13 @@
+// Fixture: rule D5 — environment reads outside config/CI-switch sites.
+// Expected findings: one per marked line.
+pub fn steer_by_env() -> usize {
+    match std::env::var("SYMMAP_SECRET_KNOB") {
+        // D5 (line above)
+        Ok(v) => v.len(),
+        Err(_) => 0,
+    }
+}
+
+pub fn another_read() -> bool {
+    std::env::var("HOME").is_ok() // D5
+}

@@ -1,0 +1,16 @@
+// Fixture: rule D4 — `unsafe` without a `// SAFETY:` comment. Expected
+// findings: exactly one (the undocumented block). The documented blocks —
+// trailing comment and comment block above — must NOT be flagged.
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } // D4 expected: nothing documents this block
+}
+
+pub fn documented_trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller guarantees p is valid and aligned.
+}
+
+pub fn documented_above(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads; the deref does not
+    // outlive the call.
+    unsafe { *p }
+}

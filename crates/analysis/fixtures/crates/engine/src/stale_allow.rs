@@ -1,0 +1,23 @@
+// Fixture: the allow escape hatch's own meta-rules. Expected findings:
+// A1 (an allow with no reason), A2 (a stale allow suppressing nothing),
+// A3 (an allow naming an unknown rule) — plus proof that a well-formed
+// allow suppresses its violation without further noise.
+use std::time::Instant;
+
+pub fn properly_allowed() -> u64 {
+    // lint:allow(D2): fixture's demonstration of a reasoned, used allow.
+    Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn allowed_without_reason() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64 // lint:allow(D2)
+}
+
+pub fn nothing_to_allow() -> u64 {
+    // lint:allow(D2): there is no timing call left on the next line.
+    42
+}
+
+pub fn unknown_rule() -> u64 {
+    7 // lint:allow(D9): no such rule exists
+}

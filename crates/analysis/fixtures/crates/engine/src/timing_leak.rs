@@ -1,0 +1,23 @@
+// Fixture: rule D2 — wall clocks and thread identity on algorithmic paths.
+// Expected findings: one per marked line, plus one on the `use` line below
+// (the scanner flags any SystemTime mention; importing it on a non-bench
+// path is already a smell).
+use std::time::{Instant, SystemTime};
+
+pub fn seed_from_clock() -> u64 {
+    let t = Instant::now(); // D2
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn seed_from_epoch() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        // D2 (one finding for the line above: per line and pattern, not per
+        // occurrence)
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+pub fn tie_break_by_thread() -> bool {
+    format!("{:?}", std::thread::current().id()).len() % 2 == 0 // D2
+}

@@ -1,0 +1,132 @@
+//! `symmap-lint` — the workspace determinism lint.
+//!
+//! ```text
+//! symmap-lint [--json] [--root DIR] [FILES...]
+//! ```
+//!
+//! With no `FILES`, lints every `.rs` file under the workspace root
+//! (excluding `target/`, `vendor/`, and the fixture tree). With `FILES`,
+//! lints exactly those (root-relative) paths — used by the CI fixture
+//! inversion check. `--root` overrides the root (default: walk up from the
+//! current directory to the first `[workspace]` manifest). `--json` emits
+//! the diagnostics as a JSON array instead of rustc-style text.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use symmap_analysis::lint;
+
+struct Args {
+    json: bool,
+    root: Option<PathBuf>,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        root: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory argument")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err("usage: symmap-lint [--json] [--root DIR] [FILES...]".to_string())
+            }
+            f if !f.starts_with('-') => args.files.push(f.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("symmap-lint: cannot read current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "symmap-lint: no `[workspace]` Cargo.toml above {} — pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = if args.files.is_empty() {
+        match lint::lint_tree(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("symmap-lint: scan failed under {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut diagnostics = Vec::new();
+        for rel in &args.files {
+            let source = match std::fs::read_to_string(root.join(rel)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("symmap-lint: cannot read {rel}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            diagnostics.extend(lint::lint_source(rel, &source));
+        }
+        lint::LintReport {
+            diagnostics,
+            files_scanned: args.files.len(),
+        }
+    };
+
+    if args.json {
+        println!("{}", lint::to_json_array(&report.diagnostics));
+    } else {
+        for diag in &report.diagnostics {
+            println!("{diag}\n");
+        }
+        if report.is_clean() {
+            println!(
+                "symmap-lint: {} files scanned, determinism rules D1–D5 clean",
+                report.files_scanned
+            );
+        } else {
+            println!(
+                "symmap-lint: {} violation(s) across {} files scanned",
+                report.diagnostics.len(),
+                report.files_scanned
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -175,9 +175,12 @@ mod tests {
 
     #[test]
     fn sequential_path_runs_on_the_calling_thread_in_order() {
+        // lint:allow(D2): test-only probe that the workers==1 path stays on
+        // the calling thread; thread identity is asserted, not consumed.
         let caller = std::thread::current().id();
         let order = Mutex::new(Vec::new());
         let (_, stats) = run_batch(5, 1, |i| {
+            // lint:allow(D2): same test-only thread-identity assertion.
             assert_eq!(std::thread::current().id(), caller);
             order.lock().push(i);
         });

@@ -14,6 +14,8 @@
 //! assert_eq!(b.to_string(), "1000000014000000049");
 //! ```
 
+// lint:allow-file(D3): to_f64/approximate conversions are the declared
+// float *exit* boundary (reporting only); all arithmetic is exact limbs.
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};

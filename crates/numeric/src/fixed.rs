@@ -16,6 +16,8 @@
 //! assert!((a.mul(b).to_f64() - 0.125).abs() < 1e-4);
 //! ```
 
+// lint:allow-file(D3): fixed-point error analysis quantifies float/fixed
+// rounding — floats are its subject matter, not a leak into exact paths.
 use std::fmt;
 
 use crate::error::NumericError;

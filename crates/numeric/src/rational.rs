@@ -22,6 +22,8 @@
 //! assert_eq!((half - third).to_string(), "1/6");
 //! ```
 
+// lint:allow-file(D3): to_f64/from_f64/approximate_f64 are the declared
+// float conversion boundary; Rational arithmetic itself is exact.
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};

@@ -14,6 +14,8 @@
 //! assert!((coeffs[3] - 1.0 / 6.0).abs() < 1e-12);
 //! ```
 
+// lint:allow-file(D3): series coefficients are exact Rational; the f64
+// helpers exist to validate truncation error against reference values.
 use crate::rational::Rational;
 
 /// Elementary functions for which the identification step can synthesize a
