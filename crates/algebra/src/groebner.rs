@@ -75,6 +75,25 @@ pub struct GroebnerOptions {
     /// age alone. Either way the pop order is deterministic; the final
     /// reduced basis is canonical and identical under both tiebreaks.
     pub use_sugar_tiebreak: bool,
+    /// Route basis computation through the multi-modular engine
+    /// ([`crate::multimodular`]): reduced bases are computed mod a
+    /// deterministic prime sequence, CRT-combined, rationally reconstructed
+    /// and verified over ℚ, falling back to the exact engine whenever the
+    /// lift cannot be certified. The result is byte-identical to the exact
+    /// path either way; only the wall clock (and the lift counters) change.
+    /// Defaults to the `SYMMAP_TEST_MULTIMODULAR=1` environment switch.
+    pub multimodular: bool,
+}
+
+/// Whether `SYMMAP_TEST_MULTIMODULAR=1` is set, read once per process so a
+/// mid-run environment change can never fork option defaults between
+/// threads.
+fn multimodular_from_env() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    // lint:allow(D5): this IS the CI switch — the fourth tier-1 pass sets
+    // SYMMAP_TEST_MULTIMODULAR=1 to route every default-options run through
+    // the verified lift.
+    *FLAG.get_or_init(|| std::env::var("SYMMAP_TEST_MULTIMODULAR").is_ok_and(|v| v == "1"))
 }
 
 impl Default for GroebnerOptions {
@@ -84,6 +103,7 @@ impl Default for GroebnerOptions {
             use_coprime_criterion: true,
             use_chain_criterion: true,
             use_sugar_tiebreak: false,
+            multimodular: multimodular_from_env(),
         }
     }
 }
@@ -267,6 +287,49 @@ fn buchberger_core(
     }
 }
 
+/// What one multi-modular attempt did, for the cache's lift counters. `None`
+/// when the exact engine ran directly (flag off).
+struct LiftReport {
+    /// The verified lift produced the basis (no exact run happened).
+    success: bool,
+    /// Votes/verifications that failed before the outcome was settled.
+    retries: usize,
+    /// Mod-p prime images that fed the final CRT combine.
+    primes_used: usize,
+}
+
+/// Routes one core computation: the multi-modular engine when
+/// `options.multimodular` is set (falling back to [`buchberger_core`] if the
+/// lift cannot be certified), the exact engine otherwise. Either way the
+/// returned basis is byte-identical — the lift is verified over ℚ before it
+/// is trusted, and on any doubt the exact path decides.
+fn compute_core(
+    generators: &[Poly],
+    order: &MonomialOrder,
+    options: &GroebnerOptions,
+) -> (CoreBasis, Option<LiftReport>) {
+    if !options.multimodular {
+        return (buchberger_core(generators, order, options), None);
+    }
+    let outcome = crate::multimodular::multimodular_basis(generators, order, options);
+    let report = LiftReport {
+        success: outcome.basis.is_some(),
+        retries: outcome.retries,
+        primes_used: outcome.primes_used,
+    };
+    let core = match outcome.basis {
+        Some(lifted) => CoreBasis {
+            polys: lifted.polys.into(),
+            complete: true,
+            reductions: lifted.reductions,
+            skipped_coprime: lifted.skipped_coprime,
+            skipped_chain: lifted.skipped_chain,
+        },
+        None => buchberger_core(generators, order, options),
+    };
+    (core, Some(report))
+}
+
 /// The ring-local canonical form of a basis request: the spanning [`Ring`]
 /// plus the generators and order rewritten into its local coordinates. Two
 /// requests with the same localized form are α-equivalent (identical up to a
@@ -324,7 +387,7 @@ pub fn buchberger(
     options: &GroebnerOptions,
 ) -> GroebnerBasis {
     let (ring, lgens, lorder) = ring_localized(generators, order);
-    let core = buchberger_core(&lgens, &lorder, options);
+    let (core, _lift) = compute_core(&lgens, &lorder, options);
     basis_from_core(Arc::clone(&core.polys), &core, ring, order)
 }
 
@@ -344,7 +407,7 @@ pub fn buchberger_unringed(
     order: &MonomialOrder,
     options: &GroebnerOptions,
 ) -> GroebnerBasis {
-    let core = buchberger_core(generators, order, options);
+    let (core, _lift) = compute_core(generators, order, options);
     GroebnerBasis {
         ring: None,
         local_polys: core.polys,
@@ -497,6 +560,10 @@ pub struct FpProbeStats {
     /// [`MAX_PRIME_ROTATIONS`] for an ideal that exhausted the rotation
     /// budget).
     pub unlucky_primes: usize,
+    /// Probes answered **certified** from a resident exact basis in the
+    /// ring-local layer — no `FpBasis` was localized or consulted (see
+    /// [`SharedGroebnerCache::probe_membership_verdict`]).
+    pub exact_probes: usize,
 }
 
 impl FpProbeStats {
@@ -506,8 +573,57 @@ impl FpProbeStats {
             fp_hits: self.fp_hits - earlier.fp_hits,
             fp_rejects: self.fp_rejects - earlier.fp_rejects,
             unlucky_primes: self.unlucky_primes - earlier.unlucky_primes,
+            exact_probes: self.exact_probes - earlier.exact_probes,
         }
     }
+}
+
+/// Point-in-time counters of the multi-modular lift
+/// ([`SharedGroebnerCache::lift_stats`]). All zero when no request carried
+/// [`GroebnerOptions::multimodular`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiftStats {
+    /// Basis computations settled entirely by the verified lift: the mod-p
+    /// images CRT-combined, reconstructed and verified over ℚ, so the exact
+    /// engine never ran.
+    pub lift_success: usize,
+    /// Reconstruction/verification rounds that failed and forced another
+    /// prime before the outcome was settled (a run that eventually succeeds
+    /// still counts its earlier failed rounds here).
+    pub lift_retry: usize,
+    /// Basis computations the lift could not certify, answered by the exact
+    /// fallback instead. The result is still correct — just not faster.
+    pub lift_fallback: usize,
+    /// Mod-p prime images that fed the final CRT combine, summed over
+    /// successful lifts (1 means single-prime coefficients all round).
+    pub crt_primes_used: usize,
+}
+
+impl LiftStats {
+    /// Counter increments between an earlier snapshot and this one.
+    pub fn delta_since(&self, earlier: &LiftStats) -> LiftStats {
+        LiftStats {
+            lift_success: self.lift_success - earlier.lift_success,
+            lift_retry: self.lift_retry - earlier.lift_retry,
+            lift_fallback: self.lift_fallback - earlier.lift_fallback,
+            crt_primes_used: self.crt_primes_used - earlier.crt_primes_used,
+        }
+    }
+}
+
+/// A [`SharedGroebnerCache::probe_membership_verdict`] answer, tagged by its
+/// strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeVerdict {
+    /// The exact reduced basis was already resident in the ring-local layer
+    /// and the target was reduced against it over ℚ — this *is* the exact
+    /// answer, and callers may short-circuit on it.
+    Certified(bool),
+    /// A single mod-p image answered: `false` is sound away from
+    /// cofactor-level unlucky primes, `true` is likely-but-unproven (see
+    /// [`crate::modular`]). Callers must confirm with an exact run before
+    /// acting.
+    Advisory(bool),
 }
 
 /// One lock-striped slice of the cache.
@@ -598,6 +714,11 @@ pub struct SharedGroebnerCache {
     fp_hits: AtomicUsize,
     fp_rejects: AtomicUsize,
     unlucky_primes: AtomicUsize,
+    exact_probes: AtomicUsize,
+    lift_success: AtomicUsize,
+    lift_retry: AtomicUsize,
+    lift_fallback: AtomicUsize,
+    crt_primes_used: AtomicUsize,
     per_shard_capacity: usize,
 }
 
@@ -646,6 +767,11 @@ impl SharedGroebnerCache {
             fp_hits: AtomicUsize::new(0),
             fp_rejects: AtomicUsize::new(0),
             unlucky_primes: AtomicUsize::new(0),
+            exact_probes: AtomicUsize::new(0),
+            lift_success: AtomicUsize::new(0),
+            lift_retry: AtomicUsize::new(0),
+            lift_fallback: AtomicUsize::new(0),
+            crt_primes_used: AtomicUsize::new(0),
             per_shard_capacity,
         }
     }
@@ -688,7 +814,20 @@ impl SharedGroebnerCache {
             }
             locked.stats.misses += 1;
         }
-        let core = Arc::new(buchberger_core(&key.2, &key.0, options));
+        let (core, lift) = compute_core(&key.2, &key.0, options);
+        if let Some(report) = lift {
+            if report.success {
+                self.lift_success.fetch_add(1, Ordering::Relaxed);
+                self.crt_primes_used
+                    .fetch_add(report.primes_used, Ordering::Relaxed);
+            } else {
+                self.lift_fallback.fetch_add(1, Ordering::Relaxed);
+            }
+            if report.retries > 0 {
+                self.lift_retry.fetch_add(report.retries, Ordering::Relaxed);
+            }
+        }
+        let core = Arc::new(core);
         let mut locked = shard.lock();
         let locked = &mut *locked;
         if let Some(existing) = locked.entries.get(&key) {
@@ -850,7 +989,33 @@ impl SharedGroebnerCache {
             fp_hits: self.fp_hits.load(Ordering::Relaxed),
             fp_rejects: self.fp_rejects.load(Ordering::Relaxed),
             unlucky_primes: self.unlucky_primes.load(Ordering::Relaxed),
+            exact_probes: self.exact_probes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Point-in-time counters of the multi-modular lift. Counter totals
+    /// under concurrency are timing-dependent (like the shard stats), but
+    /// the lifted *bases* never are — every lift is verified over ℚ and the
+    /// exact engine answers whenever verification balks.
+    pub fn lift_stats(&self) -> LiftStats {
+        LiftStats {
+            lift_success: self.lift_success.load(Ordering::Relaxed),
+            lift_retry: self.lift_retry.load(Ordering::Relaxed),
+            lift_fallback: self.lift_fallback.load(Ordering::Relaxed),
+            crt_primes_used: self.crt_primes_used.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A lock-only peek at the ring-local layer: the resident core basis for
+    /// a canonical form, or `None` without computing anything. Deliberately
+    /// bumps **no** counters — the α-layer hit/miss numbers keep meaning
+    /// "basis requests", not "probe glances".
+    fn local_peek(&self, key: &LocalKey) -> Option<Arc<CoreBasis>> {
+        self.local_shard_for(key)
+            .lock()
+            .entries
+            .get(key)
+            .map(Arc::clone)
     }
 
     /// Returns the memoized mod-p basis of a ring-local canonical form
@@ -907,9 +1072,10 @@ impl SharedGroebnerCache {
     ///   candidate prime was unlucky, or the mod-p run hit its iteration
     ///   bound with a nonzero normal form.
     ///
-    /// In this phase the answer feeds only the [`FpProbeStats`] counters —
-    /// the mapper's exact ℚ reduction always runs and always decides — so
-    /// mapper output is identical with the prefilter on or off.
+    /// An advisory-only view of
+    /// [`SharedGroebnerCache::probe_membership_verdict`], kept for callers
+    /// that treat every answer as a hint: `Some(b)` whatever the verdict's
+    /// strength, `None` when there is no answer.
     pub fn probe_membership(
         &self,
         generators: &[Poly],
@@ -917,19 +1083,76 @@ impl SharedGroebnerCache {
         options: &GroebnerOptions,
         target: &Poly,
     ) -> Option<bool> {
+        match self.probe_membership_verdict(generators, order, options, target)? {
+            ProbeVerdict::Certified(b) | ProbeVerdict::Advisory(b) => Some(b),
+        }
+    }
+
+    /// Membership probe: does `target` reduce to zero modulo the ideal of
+    /// `generators`?
+    ///
+    /// Two strengths of answer:
+    ///
+    /// * [`ProbeVerdict::Certified`] — the exact reduced basis for this
+    ///   request's α-canonical form was already resident in the ring-local
+    ///   layer (some earlier [`SharedGroebnerCache::basis`] call lifted it),
+    ///   so the target is reduced against it **over ℚ**. This is the exact
+    ///   answer — no `FpBasis` is localized, nothing mod-p runs — and
+    ///   callers may short-circuit on it. Counted in
+    ///   [`FpProbeStats::exact_probes`].
+    /// * [`ProbeVerdict::Advisory`] — no exact basis resident; a memoized
+    ///   single-prime image answers as before. `Advisory(false)` means a
+    ///   nonzero normal form under a **complete** mod-p basis (sound away
+    ///   from cofactor-level unlucky primes); `Advisory(true)` means the
+    ///   image reduced to zero (likely member, never certified by one
+    ///   prime). The exact run must confirm before anyone acts.
+    ///
+    /// `None` — no answer: prefilter disabled, target has variables outside
+    /// the ideal's ring or a denominator divisible by p, every candidate
+    /// prime was unlucky, or the (exact or mod-p) run hit its iteration
+    /// bound with a nonzero normal form.
+    ///
+    /// The probe deliberately leaves the exact layers' hit/miss counters
+    /// untouched: a glance is not a basis request.
+    pub fn probe_membership_verdict(
+        &self,
+        generators: &[Poly],
+        order: &MonomialOrder,
+        options: &GroebnerOptions,
+        target: &Poly,
+    ) -> Option<ProbeVerdict> {
         self.fp_shards.as_ref()?;
         let (ring, lgens, lorder) = ring_localized(generators, order);
         let ltarget = ring.try_localize_poly(target)?;
-        let fp = self.fp_basis_for((lorder, options.clone(), lgens), options);
+        let key: LocalKey = (lorder, options.clone(), lgens);
+        if let Some(core) = self.local_peek(&key) {
+            // The exact basis is already paid for — reduce against it
+            // instead of localizing a fresh mod-p image of the same ideal.
+            self.exact_probes.fetch_add(1, Ordering::Relaxed);
+            let prepared: Vec<PreparedDivisor> = core
+                .polys
+                .iter()
+                .filter_map(|g| PreparedDivisor::new(g.clone(), &key.0))
+                .collect();
+            let nf = prepared_normal_form(&ltarget, &prepared, &key.0, None);
+            return if nf.is_zero() {
+                Some(ProbeVerdict::Certified(true))
+            } else if core.complete {
+                Some(ProbeVerdict::Certified(false))
+            } else {
+                None
+            };
+        }
+        let fp = self.fp_basis_for(key, options);
         let basis = fp.as_ref().as_ref()?;
         match basis.reduces_to_zero(&ltarget)? {
             true => {
                 self.fp_hits.fetch_add(1, Ordering::Relaxed);
-                Some(true)
+                Some(ProbeVerdict::Advisory(true))
             }
             false if basis.complete => {
                 self.fp_rejects.fetch_add(1, Ordering::Relaxed);
-                Some(false)
+                Some(ProbeVerdict::Advisory(false))
             }
             false => None,
         }
@@ -1124,6 +1347,81 @@ mod tests {
             None
         );
         assert_eq!(cache.fp_probe_stats(), FpProbeStats::default());
+    }
+
+    #[test]
+    fn certified_probe_reuses_resident_exact_basis() {
+        let (gens, order) = mapper_side_relation_ideal();
+        let options = GroebnerOptions::default();
+        let cache = SharedGroebnerCache::with_config(CacheConfig {
+            modular_prefilter: true,
+            ..CacheConfig::default()
+        });
+        let member = p("x + y - s");
+        let non_member = p("x + 1");
+        // Before any basis is resident, the probe answers mod-p (advisory)
+        // and pays for an FpBasis localization.
+        assert_eq!(
+            cache.probe_membership_verdict(&gens, &order, &options, &member),
+            Some(ProbeVerdict::Advisory(true))
+        );
+        // An exact basis request lands the lifted core in the α-layer ...
+        let gb = cache.basis(&gens, &order, &options);
+        assert!(gb.complete);
+        // ... and from here on the probe reduces against the resident exact
+        // basis: certified verdicts, no new mod-p work, no fp counters.
+        assert_eq!(
+            cache.probe_membership_verdict(&gens, &order, &options, &member),
+            Some(ProbeVerdict::Certified(true))
+        );
+        assert_eq!(
+            cache.probe_membership_verdict(&gens, &order, &options, &non_member),
+            Some(ProbeVerdict::Certified(false))
+        );
+        let stats = cache.fp_probe_stats();
+        assert_eq!(
+            (stats.fp_hits, stats.fp_rejects, stats.exact_probes),
+            (1, 0, 2)
+        );
+        // The certified glance leaves the exact layers' counters alone: one
+        // global miss and one α-miss from the basis request, nothing more.
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert_eq!((cache.alpha_hits(), cache.alpha_misses()), (0, 1));
+    }
+
+    #[test]
+    fn multimodular_requests_route_through_the_verified_lift() {
+        let (gens, order) = mapper_side_relation_ideal();
+        let exact = GroebnerOptions {
+            multimodular: false,
+            ..GroebnerOptions::default()
+        };
+        let lifted = GroebnerOptions {
+            multimodular: true,
+            ..exact.clone()
+        };
+        let cache = SharedGroebnerCache::new();
+        let via_lift = cache.basis(&gens, &order, &lifted);
+        let via_exact = cache.basis(&gens, &order, &exact);
+        // The verified lift is byte-identical to the exact engine, counters
+        // included.
+        assert_eq!(via_lift.polys(), via_exact.polys());
+        assert_eq!(via_lift.reductions, via_exact.reductions);
+        let stats = cache.lift_stats();
+        assert_eq!((stats.lift_success, stats.lift_fallback), (1, 0));
+        assert!(stats.crt_primes_used >= 1);
+        // An iteration-starved run cannot produce a certifiable lift: the
+        // engine falls back to (equally starved) exact Buchberger rather
+        // than hand out an unverified basis.
+        let before = cache.lift_stats();
+        let starved = GroebnerOptions {
+            max_iterations: 1,
+            ..lifted
+        };
+        let gb = cache.basis(&gens, &order, &starved);
+        assert!(!gb.complete);
+        let delta = cache.lift_stats().delta_since(&before);
+        assert_eq!((delta.lift_success, delta.lift_fallback), (0, 1));
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * Buchberger's algorithm for Gröbner bases ([`groebner`]),
 //! * a modular (ℤ/p) Gröbner fast path ([`modular`]) — the sound
 //!   membership prefilter used by the mapper's shared cache,
+//! * a multi-modular engine ([`multimodular`]) — reduced bases computed
+//!   mod a deterministic prime sequence, CRT-combined, rationally
+//!   reconstructed and *verified* over ℚ, making the mod-p run the primary
+//!   compute path with an exact fallback,
 //! * **simplification modulo a set of side relations** ([`simplify`]) — the
 //!   core primitive of the library-mapping algorithm,
 //! * factorization, expansion and Horner (nested) forms ([`factor`], [`horner`]),
@@ -54,6 +58,7 @@ pub mod groebner;
 pub mod horner;
 pub mod modular;
 pub mod monomial;
+pub mod multimodular;
 pub mod ordering;
 pub mod parse;
 pub mod poly;

@@ -107,7 +107,9 @@ fn localize_coefficient(field: &Fp64, c: &Rational) -> Option<u64> {
 
 /// Localizes a **generator**: strict about unlucky primes. Errors when p
 /// divides a denominator or kills the leading coefficient under `order`.
-fn localize_generator(
+/// Shared with [`crate::multimodular`], whose per-prime images must reject
+/// unlucky primes by exactly the same criterion as the prefilter.
+pub(crate) fn localize_generator(
     field: &Fp64,
     g: &Poly,
     order: &MonomialOrder,

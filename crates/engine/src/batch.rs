@@ -171,6 +171,24 @@ pub struct EngineStats {
     pub fp_rejects: usize,
     /// Unlucky primes rotated past while computing mod-p bases this batch.
     pub unlucky_primes: usize,
+    /// Probes answered *certified* from a resident exact basis this batch —
+    /// the prefilter reused the already-lifted basis shard instead of
+    /// localizing a fresh mod-p image (see
+    /// `SharedGroebnerCache::probe_membership_verdict`).
+    pub fp_exact_reuse: usize,
+    /// Basis computations settled by the verified multi-modular lift this
+    /// batch (no exact Buchberger run). Zero unless jobs carried
+    /// `GroebnerOptions::multimodular`.
+    pub lift_success: usize,
+    /// Reconstruction/verification rounds that failed and forced another
+    /// prime this batch.
+    pub lift_retry: usize,
+    /// Basis computations the lift could not certify this batch, answered by
+    /// the exact fallback.
+    pub lift_fallback: usize,
+    /// Mod-p prime images feeding the successful lifts' CRT combines this
+    /// batch.
+    pub crt_primes_used: usize,
 }
 
 impl EngineStats {
@@ -284,6 +302,7 @@ impl MappingEngine {
         let before = self.cache.shard_stats();
         let alpha_before = self.cache.alpha_shard_stats();
         let fp_before = self.cache.fp_probe_stats();
+        let lift_before = self.cache.lift_stats();
 
         // Close the interner side channel: intern every output symbol on this
         // thread, in job order, before any worker can race to it.
@@ -314,6 +333,7 @@ impl MappingEngine {
             .map(|(after, before)| after.delta_since(before))
             .collect();
         let fp = self.cache.fp_probe_stats().delta_since(&fp_before);
+        let lift = self.cache.lift_stats().delta_since(&lift_before);
         BatchResult {
             outcomes,
             stats: EngineStats {
@@ -326,6 +346,11 @@ impl MappingEngine {
                 fp_hits: fp.fp_hits,
                 fp_rejects: fp.fp_rejects,
                 unlucky_primes: fp.unlucky_primes,
+                fp_exact_reuse: fp.exact_probes,
+                lift_success: lift.lift_success,
+                lift_retry: lift.lift_retry,
+                lift_fallback: lift.lift_fallback,
+                crt_primes_used: lift.crt_primes_used,
             },
         }
     }

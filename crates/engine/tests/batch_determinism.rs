@@ -6,6 +6,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use symmap_algebra::groebner::GroebnerOptions;
 use symmap_algebra::monomial::Monomial;
 use symmap_algebra::poly::Poly;
 use symmap_algebra::var::Var;
@@ -55,6 +56,56 @@ fn engine(workers: usize) -> MappingEngine {
         workers,
         ..EngineConfig::default()
     })
+}
+
+/// The multi-modular lift is invisible to mapping output: the same batch,
+/// run with `GroebnerOptions::multimodular` off and on and at worker counts
+/// 1 and 4, renders byte-identically — and with the flag on, the lift
+/// actually engages (its counters move) rather than being silently skipped.
+#[test]
+fn multimodular_mapping_is_byte_identical_at_any_worker_count() {
+    let library = library();
+    let targets = [
+        "x^2 + 2*x*y + y^2",
+        "x^2 - y^2 + z^2",
+        "x*y + x^2 - 3",
+        "x^3 - x*y + 4*z^2",
+    ];
+    let jobs = |multimodular: bool| -> Vec<MapJob> {
+        targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                MapJob::new(
+                    format!("mm-{i}"),
+                    Poly::parse(t).unwrap(),
+                    Arc::clone(&library),
+                    MapperConfig {
+                        groebner: GroebnerOptions {
+                            multimodular,
+                            ..GroebnerOptions::default()
+                        },
+                        ..MapperConfig::default()
+                    },
+                )
+            })
+            .collect()
+    };
+    let mut renders = Vec::new();
+    for multimodular in [false, true] {
+        for workers in [1, 4] {
+            let result = engine(workers).run(&jobs(multimodular));
+            if multimodular {
+                let engaged = result.stats.lift_success + result.stats.lift_fallback;
+                assert!(engaged >= 1, "the lift never engaged at {workers} workers");
+            }
+            renders.push(format!("{:?}", result.outcomes));
+        }
+    }
+    assert!(
+        renders.iter().all(|r| r == &renders[0]),
+        "mapping output depends on the multimodular flag or worker count"
+    );
 }
 
 proptest! {

@@ -1,0 +1,274 @@
+//! Chinese remaindering and rational reconstruction.
+//!
+//! The multi-modular Gröbner path computes coefficient images mod a sequence
+//! of 62-bit primes, combines them into a residue mod the product with
+//! [`crt_pair`]/[`crt_combine`], and lifts back to ℚ with
+//! [`rational_reconstruct`]. Everything here is exact limb arithmetic over
+//! [`BigInt`] plus `u128` words — no floats, no probabilistic shortcuts —
+//! and the functions are pure, so the lifted coefficients are a
+//! deterministic function of the residues and the prime sequence.
+
+use crate::bigint::BigInt;
+
+/// `a⁻¹ mod m` for coprime `a`, `m` with `m ≥ 2`, by the extended Euclidean
+/// algorithm in `i128` (safe: all intermediate values are bounded by `m`).
+///
+/// # Panics
+///
+/// Panics when `gcd(a, m) ≠ 1` — callers pass distinct primes, so a
+/// violation means the prime sequence is broken, not a data condition.
+fn inv_mod_u64(a: u64, m: u64) -> u64 {
+    assert!(m >= 2, "modulus must be at least 2");
+    let (mut old_r, mut r) = ((a % m) as i128, m as i128);
+    let (mut old_s, mut s) = (1_i128, 0_i128);
+    while r != 0 {
+        let q = old_r / r;
+        let next_r = old_r - q * r;
+        old_r = std::mem::replace(&mut r, next_r);
+        let next_s = old_s - q * s;
+        old_s = std::mem::replace(&mut s, next_s);
+    }
+    assert!(old_r == 1, "inv_mod_u64 requires coprime inputs");
+    old_s.rem_euclid(m as i128) as u64
+}
+
+/// Combines a residue `r1 mod m1` with a residue `r2 mod m2` into the unique
+/// residue mod `m1·m2`, returning `(combined, m1·m2)`.
+///
+/// Preconditions: `0 ≤ r1 < m1`, `r2 < m2`, and `gcd(m1, m2) = 1`. The
+/// incremental shape (arbitrary-precision accumulator plus one machine-word
+/// prime) matches how the multi-modular engine grows its modulus one prime
+/// at a time.
+pub fn crt_pair(r1: &BigInt, m1: &BigInt, r2: u64, m2: u64) -> (BigInt, BigInt) {
+    debug_assert!(!r1.is_negative() && r1 < m1, "r1 must be reduced mod m1");
+    debug_assert!(r2 < m2, "r2 must be reduced mod m2");
+    // combined = r1 + m1·t with t ≡ (r2 − r1)·m1⁻¹ (mod m2); all the
+    // word-sized arithmetic stays inside u128 because m2 < 2⁶⁴.
+    let r1_mod = r1.mod_u64(m2);
+    let delta = if r2 >= r1_mod {
+        r2 - r1_mod
+    } else {
+        r2 + (m2 - r1_mod)
+    };
+    let inv = inv_mod_u64(m1.mod_u64(m2), m2);
+    let t = ((delta as u128 * inv as u128) % m2 as u128) as u64;
+    let combined = r1 + &(m1 * &BigInt::from(t));
+    let modulus = m1 * &BigInt::from(m2);
+    (combined, modulus)
+}
+
+/// Folds a slice of `(residue, prime)` pairs into `(combined, modulus)` with
+/// `modulus = ∏ primes`. The primes must be pairwise distinct (coprime).
+/// Returns `(0, 1)` for an empty slice.
+pub fn crt_combine(residues: &[(u64, u64)]) -> (BigInt, BigInt) {
+    let mut acc = BigInt::zero();
+    let mut modulus = BigInt::one();
+    for &(r, p) in residues {
+        (acc, modulus) = crt_pair(&acc, &modulus, r, p);
+    }
+    (acc, modulus)
+}
+
+/// Rational reconstruction: finds the unique fraction `n/d` with
+/// `n ≡ a·d (mod m)`, `gcd(n, d) = 1`, `d > 0` and `2n² < m`, `2d² < m`
+/// (the standard `|n|, d < √(m/2)` bound), if one exists.
+///
+/// Uses the half-extended Euclidean algorithm on `(m, a)`: the remainder
+/// sequence is walked until `2·r² < m`, at which point `(r, t)` is the
+/// candidate `(n, d)`. The invariant `rᵢ ≡ tᵢ·a (mod m)` makes the congruence
+/// hold by construction; the bound checks and the coprimality check make the
+/// answer unique, so a successful reconstruction is *the* fraction every
+/// sufficiently large modulus agrees on.
+///
+/// # Panics
+///
+/// Panics when `m < 2`.
+pub fn rational_reconstruct(a: &BigInt, m: &BigInt) -> Option<(BigInt, BigInt)> {
+    assert!(*m >= BigInt::from(2_i64), "modulus must be at least 2");
+    // Reduce to the least non-negative residue.
+    let (_, mut a) = a.div_rem(m);
+    if a.is_negative() {
+        a += m;
+    }
+    if a.is_zero() {
+        return Some((BigInt::zero(), BigInt::one()));
+    }
+    let two = BigInt::from(2_i64);
+    let (mut r0, mut r1) = (m.clone(), a);
+    let (mut t0, mut t1) = (BigInt::zero(), BigInt::one());
+    while &two * &(&r1 * &r1) >= *m {
+        let (q, rem) = r0.div_rem(&r1);
+        r0 = std::mem::replace(&mut r1, rem);
+        let next_t = &t0 - &(&q * &t1);
+        t0 = std::mem::replace(&mut t1, next_t);
+    }
+    let (mut n, mut d) = (r1, t1);
+    if d.is_zero() {
+        return None;
+    }
+    if d.is_negative() {
+        n = -n;
+        d = -d;
+    }
+    if &two * &(&d * &d) >= *m {
+        return None;
+    }
+    if !n.gcd(&d).is_one() {
+        return None;
+    }
+    Some((n, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp64::PrimeIterator;
+    use proptest::prelude::*;
+
+    /// A fixed pool of odd primes straddling the u32 and u64 boundaries, so
+    /// the proptests exercise both single-limb and multi-limb `BigInt`
+    /// moduli (the promotion boundary, in the PR 3 small-rational style).
+    fn prime_pool() -> Vec<u64> {
+        let mut pool = vec![3, 101, 1_000_003, 4_294_967_311, 2_147_483_659];
+        pool.extend(PrimeIterator::new().take(3));
+        pool
+    }
+
+    /// `num·den⁻¹ mod m` computed independently through the extended gcd —
+    /// the oracle side of the reconstruction round trip.
+    fn residue_of_fraction(num: i64, den: i64, m: &BigInt) -> BigInt {
+        let (g, inv, _) = BigInt::from(den).extended_gcd(m);
+        assert!(
+            g.is_one(),
+            "test fraction must have denominator coprime to m"
+        );
+        let (_, mut r) = (&BigInt::from(num) * &inv).div_rem(m);
+        if r.is_negative() {
+            r += m;
+        }
+        r
+    }
+
+    #[test]
+    fn crt_pair_small_known_values() {
+        // x ≡ 2 (mod 3), x ≡ 3 (mod 5) → x = 8 (mod 15).
+        let (r, m) = crt_pair(&BigInt::from(2_i64), &BigInt::from(3_i64), 3, 5);
+        assert_eq!(r.to_i64().unwrap(), 8);
+        assert_eq!(m.to_i64().unwrap(), 15);
+        // Folding from the empty accumulator reproduces the residues.
+        let (r, m) = crt_combine(&[(2, 3), (3, 5), (2, 7)]);
+        assert_eq!(m.to_i64().unwrap(), 105);
+        assert_eq!(r.mod_u64(3), 2);
+        assert_eq!(r.mod_u64(5), 3);
+        assert_eq!(r.mod_u64(7), 2);
+    }
+
+    #[test]
+    fn crt_combine_empty_is_zero_mod_one() {
+        let (r, m) = crt_combine(&[]);
+        assert!(r.is_zero());
+        assert!(m.is_one());
+    }
+
+    #[test]
+    fn reconstruct_zero_and_integers() {
+        let p = PrimeIterator::new().next().unwrap();
+        let m = BigInt::from(p);
+        assert_eq!(
+            rational_reconstruct(&BigInt::zero(), &m),
+            Some((BigInt::zero(), BigInt::one()))
+        );
+        // Small integers are their own reconstruction.
+        for v in [1_i64, -1, 42, -1000] {
+            let a = residue_of_fraction(v, 1, &m);
+            assert_eq!(
+                rational_reconstruct(&a, &m),
+                Some((BigInt::from(v), BigInt::one()))
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruct_requires_room_in_the_modulus() {
+        // m = 101: the bound √(m/2) ≈ 7.1, so 1/10 has no representative
+        // fraction inside the box and reconstruction must refuse rather
+        // than return a wrong small fraction.
+        let m = BigInt::from(101_i64);
+        let a = residue_of_fraction(1, 10, &m);
+        assert_eq!(rational_reconstruct(&a, &m), None);
+        // The same fraction reconstructs once the modulus has room.
+        let m = BigInt::from(1_000_003_i64);
+        let a = residue_of_fraction(1, 10, &m);
+        assert_eq!(
+            rational_reconstruct(&a, &m),
+            Some((BigInt::one(), BigInt::from(10_i64)))
+        );
+    }
+
+    proptest! {
+        /// CRT over two distinct pool primes agrees with direct u128
+        /// remaindering of a random value, across the single-limb/multi-limb
+        /// promotion boundary.
+        #[test]
+        fn prop_crt_pair_matches_u128_oracle(i in 0usize..8, j in 0usize..8, hi in any::<u64>(), lo in any::<u64>()) {
+            let pool = prime_pool();
+            prop_assume!(i != j);
+            let (p1, p2) = (pool[i], pool[j]);
+            let m = p1 as u128 * p2 as u128;
+            let x = (((hi as u128) << 64) | lo as u128) % m;
+            let (r, modulus) = crt_combine(&[((x % p1 as u128) as u64, p1), ((x % p2 as u128) as u64, p2)]);
+            prop_assert_eq!(modulus.to_string(), m.to_string());
+            prop_assert_eq!(r.to_string(), x.to_string());
+        }
+
+        /// Round trip: a random reduced fraction, pushed into a residue mod a
+        /// product of two 62-bit primes, reconstructs to exactly itself.
+        #[test]
+        fn prop_reconstruct_round_trips(num in -1_000_000_i64..1_000_000, den in 1_i64..1_000_000) {
+            let g = num.unsigned_abs().max(1).gcd_reduce(den.unsigned_abs());
+            let (num, den) = (num / g as i64, den / g as i64);
+            let primes: Vec<u64> = PrimeIterator::new().take(2).collect();
+            let m = &BigInt::from(primes[0]) * &BigInt::from(primes[1]);
+            let a = residue_of_fraction(num, den, &m);
+            prop_assert_eq!(
+                rational_reconstruct(&a, &m),
+                Some((BigInt::from(num), BigInt::from(den)))
+            );
+        }
+
+        /// Soundness over an exhaustive-ish residue sweep: whatever
+        /// reconstruction returns satisfies the congruence, the bounds and
+        /// coprimality — it never fabricates an unsound fraction.
+        #[test]
+        fn prop_reconstruct_is_sound(a in 0_i64..10_007) {
+            let m = BigInt::from(10_007_i64);
+            if let Some((n, d)) = rational_reconstruct(&BigInt::from(a), &m) {
+                // n ≡ a·d (mod m)
+                let (_, rem) = (&(&BigInt::from(a) * &d) - &n).div_rem(&m);
+                prop_assert!(rem.is_zero());
+                prop_assert!(d.is_positive());
+                prop_assert!(n.gcd(&d).is_one());
+                let two = BigInt::from(2_i64);
+                prop_assert!(&two * &(&n * &n) < m);
+                prop_assert!(&two * &(&d * &d) < m);
+            }
+        }
+    }
+
+    /// Plain u64 gcd helper for the round-trip test (std has no stable
+    /// `u64::gcd`).
+    trait GcdReduce {
+        fn gcd_reduce(self, other: u64) -> u64;
+    }
+    impl GcdReduce for u64 {
+        fn gcd_reduce(self, other: u64) -> u64 {
+            let (mut a, mut b) = (self, other);
+            while b != 0 {
+                let r = a % b;
+                a = b;
+                b = r;
+            }
+            a.max(1)
+        }
+    }
+}

@@ -14,7 +14,9 @@
 //!   overflow (typical Gröbner coefficients never allocate),
 //! * [`fp64::Fp64`] — ℤ/p arithmetic for 62-bit primes in Montgomery form,
 //!   plus a deterministic [`fp64::PrimeIterator`]; the substrate of the
-//!   modular Gröbner prefilter,
+//!   modular Gröbner engine,
+//! * [`crt`] — Chinese remaindering and rational reconstruction, the lift
+//!   from per-prime coefficient images back to exact ℚ,
 //! * [`fixed::Fixed`] — parameterised Q-format fixed-point values as used by the
 //!   in-house ("IH") library of the paper,
 //! * [`series`] — Taylor and Chebyshev expansions used in target-code
@@ -35,6 +37,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bigint;
+pub mod crt;
 pub mod error;
 pub mod fixed;
 pub mod fp64;
@@ -43,6 +46,7 @@ pub mod rational;
 pub mod series;
 
 pub use bigint::BigInt;
+pub use crt::{crt_combine, crt_pair, rational_reconstruct};
 pub use error::NumericError;
 pub use fixed::{Fixed, QFormat};
 pub use fp64::{Fp64, PrimeIterator};
