@@ -42,10 +42,10 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use symmap_trace::{trace_event, trace_sched, Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::coeff::{buchberger_core_in, CPoly, RationalField};
 use crate::division::{normal_form, prepared_normal_form, PreparedDivisor};
@@ -455,7 +455,13 @@ impl Default for CacheConfig {
     }
 }
 
-/// Point-in-time counters of one cache shard.
+/// Point-in-time counters of one cache shard — a readout of the registry
+/// handles the shard increments (`cache.shard.N.*` / `alpha.shard.N.*`).
+///
+/// The bespoke `delta_since` this struct used to carry is gone: per-batch
+/// deltas now come from the one
+/// [`MetricsSnapshot::delta_since`](symmap_trace::MetricsSnapshot::delta_since)
+/// facade, which the engine re-exports through its `EngineStats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheShardStats {
     /// Lookups answered from the shard.
@@ -466,20 +472,6 @@ pub struct CacheShardStats {
     pub evictions: usize,
     /// Bases currently memoized in the shard.
     pub len: usize,
-}
-
-impl CacheShardStats {
-    /// Counter increments between an earlier snapshot and this one (`len` is
-    /// carried over as the current size, not a delta). Used by the batch
-    /// engine to report per-run cache activity.
-    pub fn delta_since(&self, earlier: &CacheShardStats) -> CacheShardStats {
-        CacheShardStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            evictions: self.evictions - earlier.evictions,
-            len: self.len,
-        }
-    }
 }
 
 // Determinism audit (rule D1, symmap-lint): the cache layers below keep
@@ -508,19 +500,43 @@ type LocalKey = (MonomialOrder, GroebnerOptions, Vec<Poly>);
 /// basis (in local coordinates), FIFO-bounded like the global layer. Its
 /// `stats.hits` are the *α-hits*: lookups whose global key was never seen
 /// but whose ring-local form was.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LocalShard {
     entries: HashMap<LocalKey, Arc<CoreBasis>>,
     queue: VecDeque<LocalKey>,
-    stats: CacheShardStats,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    len: Gauge,
 }
 
 impl LocalShard {
+    fn new(metrics: &MetricsRegistry, index: usize) -> Self {
+        LocalShard {
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            hits: metrics.counter(&format!("alpha.shard.{index}.hits")),
+            misses: metrics.counter(&format!("alpha.shard.{index}.misses")),
+            evictions: metrics.counter(&format!("alpha.shard.{index}.evictions")),
+            len: metrics.gauge(&format!("alpha.shard.{index}.len")),
+        }
+    }
+
+    fn stats(&self) -> CacheShardStats {
+        CacheShardStats {
+            hits: self.hits.get() as usize,
+            misses: self.misses.get() as usize,
+            evictions: self.evictions.get() as usize,
+            len: self.entries.len(),
+        }
+    }
+
     fn evict_oldest(&mut self) {
         if let Some(key) = self.queue.pop_front() {
             if self.entries.remove(&key).is_some() {
-                self.stats.len -= 1;
-                self.stats.evictions += 1;
+                self.evictions.inc();
+                self.len.set(self.entries.len() as i64);
+                trace_sched!("cache.alpha.evict");
             }
         }
     }
@@ -566,18 +582,6 @@ pub struct FpProbeStats {
     pub exact_probes: usize,
 }
 
-impl FpProbeStats {
-    /// Counter increments between an earlier snapshot and this one.
-    pub fn delta_since(&self, earlier: &FpProbeStats) -> FpProbeStats {
-        FpProbeStats {
-            fp_hits: self.fp_hits - earlier.fp_hits,
-            fp_rejects: self.fp_rejects - earlier.fp_rejects,
-            unlucky_primes: self.unlucky_primes - earlier.unlucky_primes,
-            exact_probes: self.exact_probes - earlier.exact_probes,
-        }
-    }
-}
-
 /// Point-in-time counters of the multi-modular lift
 /// ([`SharedGroebnerCache::lift_stats`]). All zero when no request carried
 /// [`GroebnerOptions::multimodular`].
@@ -599,18 +603,6 @@ pub struct LiftStats {
     pub crt_primes_used: usize,
 }
 
-impl LiftStats {
-    /// Counter increments between an earlier snapshot and this one.
-    pub fn delta_since(&self, earlier: &LiftStats) -> LiftStats {
-        LiftStats {
-            lift_success: self.lift_success - earlier.lift_success,
-            lift_retry: self.lift_retry - earlier.lift_retry,
-            lift_fallback: self.lift_fallback - earlier.lift_fallback,
-            crt_primes_used: self.crt_primes_used - earlier.crt_primes_used,
-        }
-    }
-}
-
 /// A [`SharedGroebnerCache::probe_membership_verdict`] answer, tagged by its
 /// strength.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -627,18 +619,43 @@ pub enum ProbeVerdict {
 }
 
 /// One lock-striped slice of the cache.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct CacheShard {
     /// Nested maps so a lookup probes every level with *borrowed* keys (the
     /// generator level via `Vec<Poly>: Borrow<[Poly]>`): a hit allocates and
     /// clones nothing — only a miss materializes the owned keys.
     entries: HashMap<MonomialOrder, OptionsMap>,
-    /// Keys in insertion order; the front is the eviction victim.
+    /// Keys in insertion order; the front is the eviction victim. Inserts
+    /// and removals are 1:1 with the queue, so `queue.len()` *is* the shard
+    /// length.
     queue: VecDeque<CacheKey>,
-    stats: CacheShardStats,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    len: Gauge,
 }
 
 impl CacheShard {
+    fn new(metrics: &MetricsRegistry, index: usize) -> Self {
+        CacheShard {
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            hits: metrics.counter(&format!("cache.shard.{index}.hits")),
+            misses: metrics.counter(&format!("cache.shard.{index}.misses")),
+            evictions: metrics.counter(&format!("cache.shard.{index}.evictions")),
+            len: metrics.gauge(&format!("cache.shard.{index}.len")),
+        }
+    }
+
+    fn stats(&self) -> CacheShardStats {
+        CacheShardStats {
+            hits: self.hits.get() as usize,
+            misses: self.misses.get() as usize,
+            evictions: self.evictions.get() as usize,
+            len: self.queue.len(),
+        }
+    }
+
     fn lookup(
         &self,
         generators: &[Poly],
@@ -658,8 +675,9 @@ impl CacheShard {
         if let Some(options_map) = self.entries.get_mut(&order) {
             if let Some(generator_map) = options_map.get_mut(&options) {
                 if generator_map.remove(&generators).is_some() {
-                    self.stats.len -= 1;
-                    self.stats.evictions += 1;
+                    self.evictions.inc();
+                    self.len.set(self.queue.len() as i64);
+                    trace_sched!("cache.evict");
                 }
                 if generator_map.is_empty() {
                     options_map.remove(&options);
@@ -711,14 +729,21 @@ pub struct SharedGroebnerCache {
     /// [`CacheConfig::modular_prefilter`] is set — the disabled path costs
     /// one `is_some` check per probe and nothing per basis lookup.
     fp_shards: Option<Box<[Mutex<FpShard>]>>,
-    fp_hits: AtomicUsize,
-    fp_rejects: AtomicUsize,
-    unlucky_primes: AtomicUsize,
-    exact_probes: AtomicUsize,
-    lift_success: AtomicUsize,
-    lift_retry: AtomicUsize,
-    lift_fallback: AtomicUsize,
-    crt_primes_used: AtomicUsize,
+    /// The unified registry every counter below (and the per-shard handles
+    /// above) registers into. The batch engine snapshots this registry
+    /// before/after a run and reports the delta — there is no second stats
+    /// bookkeeping path.
+    metrics: Arc<MetricsRegistry>,
+    fp_hits: Counter,
+    fp_rejects: Counter,
+    unlucky_primes: Counter,
+    exact_probes: Counter,
+    lift_success: Counter,
+    lift_retry: Counter,
+    lift_fallback: Counter,
+    crt_primes_used: Counter,
+    /// Distribution of S-polynomial reduction counts per core computation.
+    reduction_sizes: Histogram,
     per_shard_capacity: usize,
 }
 
@@ -752,28 +777,43 @@ impl SharedGroebnerCache {
     pub fn with_config(config: CacheConfig) -> Self {
         let shards = config.shards.max(1);
         let per_shard_capacity = config.capacity.max(shards).div_ceil(shards);
+        let metrics = Arc::new(MetricsRegistry::new());
         SharedGroebnerCache {
             shards: (0..shards)
-                .map(|_| Mutex::new(CacheShard::default()))
+                .map(|i| Mutex::new(CacheShard::new(&metrics, i)))
                 .collect(),
             local_shards: (0..shards)
-                .map(|_| Mutex::new(LocalShard::default()))
+                .map(|i| Mutex::new(LocalShard::new(&metrics, i)))
                 .collect(),
             fp_shards: config.modular_prefilter.then(|| {
                 (0..shards)
                     .map(|_| Mutex::new(FpShard::default()))
                     .collect()
             }),
-            fp_hits: AtomicUsize::new(0),
-            fp_rejects: AtomicUsize::new(0),
-            unlucky_primes: AtomicUsize::new(0),
-            exact_probes: AtomicUsize::new(0),
-            lift_success: AtomicUsize::new(0),
-            lift_retry: AtomicUsize::new(0),
-            lift_fallback: AtomicUsize::new(0),
-            crt_primes_used: AtomicUsize::new(0),
+            fp_hits: metrics.counter("fp.hits"),
+            fp_rejects: metrics.counter("fp.rejects"),
+            unlucky_primes: metrics.counter("fp.unlucky_primes"),
+            exact_probes: metrics.counter("fp.exact_reuse"),
+            lift_success: metrics.counter("lift.success"),
+            lift_retry: metrics.counter("lift.retry"),
+            lift_fallback: metrics.counter("lift.fallback"),
+            crt_primes_used: metrics.counter("lift.crt_primes"),
+            reduction_sizes: metrics.histogram("groebner.reductions"),
+            metrics,
             per_shard_capacity,
         }
+    }
+
+    /// The unified metrics registry this cache's counters live in. The batch
+    /// engine shares it (pool counters register here too) and reports
+    /// per-batch activity as one snapshot delta.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of every metric in the registry.
+    pub fn metrics_snapshot(&self) -> symmap_trace::MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// The shard a key lives in: a fixed-seed hash, so shard assignment is
@@ -785,19 +825,14 @@ impl SharedGroebnerCache {
         order: &MonomialOrder,
         options: &GroebnerOptions,
     ) -> &Mutex<CacheShard> {
-        let mut hasher = DefaultHasher::new();
-        order.hash(&mut hasher);
-        options.hash(&mut hasher);
-        generators.hash(&mut hasher);
-        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
+        &self.shards
+            [(global_key_id(generators, order, options) % self.shards.len() as u64) as usize]
     }
 
     /// The ring-local shard a localized key lives in (same fixed-seed
     /// hashing discipline as [`SharedGroebnerCache::shard_for`]).
     fn local_shard_for(&self, key: &LocalKey) -> &Mutex<LocalShard> {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.local_shards[(hasher.finish() % self.local_shards.len() as u64) as usize]
+        &self.local_shards[(local_key_id(key) % self.local_shards.len() as u64) as usize]
     }
 
     /// Returns the memoized core basis of a ring-local canonical form,
@@ -806,27 +841,51 @@ impl SharedGroebnerCache {
     fn local_basis(&self, key: LocalKey, options: &GroebnerOptions) -> Arc<CoreBasis> {
         let shard = self.local_shard_for(&key);
         {
-            let mut locked = shard.lock();
+            let locked = shard.lock();
             if let Some(hit) = locked.entries.get(&key) {
                 let hit = Arc::clone(hit);
-                locked.stats.hits += 1;
+                locked.hits.inc();
+                trace_sched!("cache.alpha.hit");
                 return hit;
             }
-            locked.stats.misses += 1;
+            locked.misses.inc();
+            trace_sched!("cache.alpha.miss");
         }
+        // Compute-channel scope: the computation below is a pure function of
+        // the α-canonical key, so racing duplicate computations record
+        // byte-identical streams that collapse onto one key in the collector
+        // (DESIGN.md §8). Which lookup computes is scheduling-dependent —
+        // that outcome was reported to the sched channel above.
+        // lint:allow(D6): the shared cache IS the compute-channel entry point
+        let _compute_scope = symmap_trace::recorder::install_compute_scope(
+            local_key_id(&key),
+            &format!("groebner: {} gens", key.2.len()),
+        );
         let (core, lift) = compute_core(&key.2, &key.0, options);
+        trace_event!(
+            "groebner.core",
+            // "Pair selections": every queue pop is either a chain-criterion
+            // skip or a reduction; coprime skips never enter the queue.
+            pairs = core.reductions + core.skipped_chain,
+            reductions = core.reductions,
+            skipped_coprime = core.skipped_coprime,
+            skipped_chain = core.skipped_chain,
+            basis_len = core.polys.len(),
+            complete = core.complete as usize,
+        );
+        self.reduction_sizes.observe(core.reductions as u64);
         if let Some(report) = lift {
             if report.success {
-                self.lift_success.fetch_add(1, Ordering::Relaxed);
-                self.crt_primes_used
-                    .fetch_add(report.primes_used, Ordering::Relaxed);
+                self.lift_success.inc();
+                self.crt_primes_used.add(report.primes_used as u64);
             } else {
-                self.lift_fallback.fetch_add(1, Ordering::Relaxed);
+                self.lift_fallback.inc();
             }
             if report.retries > 0 {
-                self.lift_retry.fetch_add(report.retries, Ordering::Relaxed);
+                self.lift_retry.add(report.retries as u64);
             }
         }
+        drop(_compute_scope);
         let core = Arc::new(core);
         let mut locked = shard.lock();
         let locked = &mut *locked;
@@ -835,8 +894,8 @@ impl SharedGroebnerCache {
         }
         locked.entries.insert(key.clone(), Arc::clone(&core));
         locked.queue.push_back(key);
-        locked.stats.len += 1;
-        while locked.stats.len > self.per_shard_capacity {
+        locked.len.set(locked.entries.len() as i64);
+        while locked.entries.len() > self.per_shard_capacity {
             locked.evict_oldest();
         }
         core
@@ -863,15 +922,26 @@ impl SharedGroebnerCache {
         order: &MonomialOrder,
         options: &GroebnerOptions,
     ) -> Arc<GroebnerBasis> {
+        // Job-channel request marker: the sequence of basis requests a job
+        // makes is a pure function of the job's inputs, so this event is
+        // deterministic. The *outcome* (hit vs miss) is scheduling-dependent
+        // and goes to the sched channel below.
+        trace_event!(
+            "cache.request",
+            key = global_key_id(generators, order, options),
+            gens = generators.len(),
+        );
         let shard = self.shard_for(generators, order, options);
         {
-            let mut locked = shard.lock();
+            let locked = shard.lock();
             if let Some(hit) = locked.lookup(generators, order, options) {
                 let hit = Arc::clone(hit);
-                locked.stats.hits += 1;
+                locked.hits.inc();
+                trace_sched!("cache.hit");
                 return hit;
             }
-            locked.stats.misses += 1;
+            locked.misses.inc();
+            trace_sched!("cache.miss");
         }
         // Resolve through the ring-local layer outside the global lock.
         let (ring, lgens, lorder) = ring_localized(generators, order);
@@ -893,8 +963,8 @@ impl SharedGroebnerCache {
         locked
             .queue
             .push_back((order.clone(), options.clone(), generators.to_vec()));
-        locked.stats.len += 1;
-        while locked.stats.len > self.per_shard_capacity {
+        locked.len.set(locked.queue.len() as i64);
+        while locked.queue.len() > self.per_shard_capacity {
             locked.evict_oldest();
         }
         gb
@@ -902,22 +972,31 @@ impl SharedGroebnerCache {
 
     /// Number of lookups answered from the cache (all shards).
     pub fn hits(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().stats.hits).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().hits.get() as usize)
+            .sum()
     }
 
     /// Number of lookups that had to compute a fresh basis (all shards).
     pub fn misses(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().stats.misses).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().misses.get() as usize)
+            .sum()
     }
 
     /// Number of entries evicted by the capacity bound (all shards).
     pub fn evictions(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().stats.evictions).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().evictions.get() as usize)
+            .sum()
     }
 
     /// Number of distinct bases currently memoized (all shards).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().stats.len).sum()
+        self.shards.iter().map(|s| s.lock().queue.len()).sum()
     }
 
     /// Returns `true` when nothing is currently memoized.
@@ -937,14 +1016,17 @@ impl SharedGroebnerCache {
 
     /// Point-in-time counters of every shard, in shard order.
     pub fn shard_stats(&self) -> Vec<CacheShardStats> {
-        self.shards.iter().map(|s| s.lock().stats).collect()
+        self.shards.iter().map(|s| s.lock().stats()).collect()
     }
 
     /// Lookups answered by the ring-local layer: the global key was new, but
     /// an α-equivalent request had already computed the core basis (all
     /// shards).
     pub fn alpha_hits(&self) -> usize {
-        self.local_shards.iter().map(|s| s.lock().stats.hits).sum()
+        self.local_shards
+            .iter()
+            .map(|s| s.lock().hits.get() as usize)
+            .sum()
     }
 
     /// Ring-local canonical forms that had to run the Buchberger core (all
@@ -952,7 +1034,7 @@ impl SharedGroebnerCache {
     pub fn alpha_misses(&self) -> usize {
         self.local_shards
             .iter()
-            .map(|s| s.lock().stats.misses)
+            .map(|s| s.lock().misses.get() as usize)
             .sum()
     }
 
@@ -960,19 +1042,22 @@ impl SharedGroebnerCache {
     pub fn alpha_evictions(&self) -> usize {
         self.local_shards
             .iter()
-            .map(|s| s.lock().stats.evictions)
+            .map(|s| s.lock().evictions.get() as usize)
             .sum()
     }
 
     /// Distinct ring-local canonical forms currently memoized.
     pub fn alpha_len(&self) -> usize {
-        self.local_shards.iter().map(|s| s.lock().stats.len).sum()
+        self.local_shards
+            .iter()
+            .map(|s| s.lock().entries.len())
+            .sum()
     }
 
     /// Point-in-time counters of every ring-local shard, in shard order
     /// (`hits` are α-hits; see [`SharedGroebnerCache::alpha_hits`]).
     pub fn alpha_shard_stats(&self) -> Vec<CacheShardStats> {
-        self.local_shards.iter().map(|s| s.lock().stats).collect()
+        self.local_shards.iter().map(|s| s.lock().stats()).collect()
     }
 
     /// Whether the modular (ℤ/p) prefilter layer is enabled
@@ -986,10 +1071,10 @@ impl SharedGroebnerCache {
     /// *answers* never are.
     pub fn fp_probe_stats(&self) -> FpProbeStats {
         FpProbeStats {
-            fp_hits: self.fp_hits.load(Ordering::Relaxed),
-            fp_rejects: self.fp_rejects.load(Ordering::Relaxed),
-            unlucky_primes: self.unlucky_primes.load(Ordering::Relaxed),
-            exact_probes: self.exact_probes.load(Ordering::Relaxed),
+            fp_hits: self.fp_hits.get() as usize,
+            fp_rejects: self.fp_rejects.get() as usize,
+            unlucky_primes: self.unlucky_primes.get() as usize,
+            exact_probes: self.exact_probes.get() as usize,
         }
     }
 
@@ -999,10 +1084,10 @@ impl SharedGroebnerCache {
     /// exact engine answers whenever verification balks.
     pub fn lift_stats(&self) -> LiftStats {
         LiftStats {
-            lift_success: self.lift_success.load(Ordering::Relaxed),
-            lift_retry: self.lift_retry.load(Ordering::Relaxed),
-            lift_fallback: self.lift_fallback.load(Ordering::Relaxed),
-            crt_primes_used: self.crt_primes_used.load(Ordering::Relaxed),
+            lift_success: self.lift_success.get() as usize,
+            lift_retry: self.lift_retry.get() as usize,
+            lift_fallback: self.lift_fallback.get() as usize,
+            crt_primes_used: self.crt_primes_used.get() as usize,
         }
     }
 
@@ -1037,12 +1122,17 @@ impl SharedGroebnerCache {
                 return Arc::clone(hit);
             }
         }
+        // Whether this probe computes a fresh mod-p image (vs finding one
+        // memoized, vs never running because a resident exact basis answered
+        // first) is scheduling-dependent, so every fp event is sched-channel.
+        trace_sched!("probe.fp.compute");
         let computed = FpBasis::compute(&key.2, &key.0, options);
         let rotations = computed
             .as_ref()
             .map_or(MAX_PRIME_ROTATIONS, |b| b.rotations);
         if rotations > 0 {
-            self.unlucky_primes.fetch_add(rotations, Ordering::Relaxed);
+            self.unlucky_primes.add(rotations as u64);
+            trace_sched!("probe.fp.unlucky", rotations = rotations);
         }
         let value = Arc::new(computed);
         let mut locked = shard.lock();
@@ -1128,7 +1218,8 @@ impl SharedGroebnerCache {
         if let Some(core) = self.local_peek(&key) {
             // The exact basis is already paid for — reduce against it
             // instead of localizing a fresh mod-p image of the same ideal.
-            self.exact_probes.fetch_add(1, Ordering::Relaxed);
+            self.exact_probes.inc();
+            trace_sched!("probe.exact_reuse");
             let prepared: Vec<PreparedDivisor> = core
                 .polys
                 .iter()
@@ -1147,16 +1238,40 @@ impl SharedGroebnerCache {
         let basis = fp.as_ref().as_ref()?;
         match basis.reduces_to_zero(&ltarget)? {
             true => {
-                self.fp_hits.fetch_add(1, Ordering::Relaxed);
+                self.fp_hits.inc();
+                trace_sched!("probe.fp.hit");
                 Some(ProbeVerdict::Advisory(true))
             }
             false if basis.complete => {
-                self.fp_rejects.fetch_add(1, Ordering::Relaxed);
+                self.fp_rejects.inc();
+                trace_sched!("probe.fp.reject");
                 Some(ProbeVerdict::Advisory(false))
             }
             false => None,
         }
     }
+}
+
+/// The fixed-seed hash of a ring-local key: shard selector, compute-channel
+/// stream id and trace label, all from one value so they agree. The
+/// `DefaultHasher` here is constructed with fixed keys, so ids are
+/// reproducible across runs — the same discipline
+/// [`SharedGroebnerCache::shard_for`] has always relied on.
+fn local_key_id(key: &LocalKey) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The fixed-seed hash of a global cache key, used as the job-channel
+/// request marker (`cache.request`): a pure function of the request, so the
+/// marker sequence is deterministic per job.
+fn global_key_id(generators: &[Poly], order: &MonomialOrder, options: &GroebnerOptions) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    order.hash(&mut hasher);
+    options.hash(&mut hasher);
+    generators.hash(&mut hasher);
+    hasher.finish()
 }
 
 #[cfg(test)]
@@ -1413,15 +1528,21 @@ mod tests {
         // An iteration-starved run cannot produce a certifiable lift: the
         // engine falls back to (equally starved) exact Buchberger rather
         // than hand out an unverified basis.
-        let before = cache.lift_stats();
+        let before = cache.metrics_snapshot();
         let starved = GroebnerOptions {
             max_iterations: 1,
             ..lifted
         };
         let gb = cache.basis(&gens, &order, &starved);
         assert!(!gb.complete);
-        let delta = cache.lift_stats().delta_since(&before);
-        assert_eq!((delta.lift_success, delta.lift_fallback), (0, 1));
+        let delta = cache.metrics_snapshot().delta_since(&before);
+        assert_eq!(
+            (
+                delta.counter("lift.success"),
+                delta.counter("lift.fallback")
+            ),
+            (0, 1)
+        );
     }
 
     #[test]
@@ -1943,21 +2064,27 @@ mod tests {
     }
 
     #[test]
-    fn shard_stats_delta_subtracts_counters() {
-        let before = CacheShardStats {
-            hits: 2,
-            misses: 3,
-            evictions: 1,
-            len: 4,
-        };
-        let after = CacheShardStats {
-            hits: 10,
-            misses: 5,
-            evictions: 1,
-            len: 6,
-        };
-        let d = after.delta_since(&before);
-        assert_eq!((d.hits, d.misses, d.evictions, d.len), (8, 2, 0, 6));
+    fn shard_deltas_come_from_the_metrics_registry() {
+        // The bespoke `CacheShardStats::delta_since` is gone; shard activity
+        // windows are computed through the shared registry snapshot instead.
+        let cache = SharedGroebnerCache::new();
+        let order = MonomialOrder::lex(&["x", "y"]);
+        let opts = GroebnerOptions::default();
+        let gens = [p("x^2 - y")];
+        cache.basis(&gens, &order, &opts);
+        let before = cache.metrics_snapshot();
+        cache.basis(&gens, &order, &opts); // pure hit
+        let delta = cache.metrics_snapshot().delta_since(&before);
+        assert_eq!(delta.sum_matching("cache.shard.", ".hits"), 1);
+        assert_eq!(delta.sum_matching("cache.shard.", ".misses"), 0);
+        // Gauges report the current level, not a flow: len survives the delta.
+        let len_total: i64 = delta
+            .gauges
+            .iter()
+            .filter(|(n, _)| n.starts_with("cache.shard.") && n.ends_with(".len"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(len_total as usize, cache.len());
     }
 
     proptest! {

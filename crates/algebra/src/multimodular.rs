@@ -36,6 +36,7 @@
 //! exact path.
 
 use symmap_numeric::{crt_combine, rational_reconstruct, Fp64, PrimeIterator, Rational};
+use symmap_trace::{trace_event, trace_span};
 
 use crate::coeff::{
     buchberger_core_in, normal_form_in, CPoly, CPrepared, CoeffField, RationalField,
@@ -309,14 +310,31 @@ pub fn multimodular_basis_with_primes(
     while images.len() < max_images && draws < max_images + MAX_PRIME_ROTATIONS {
         let Some(prime) = primes.next() else { break };
         draws += 1;
-        let Some(image) = PrimeImage::compute(prime, &gens, order, options) else {
+        // The whole prime sequence, vote and reconstruction are pure
+        // functions of the (ring-local) generators and options, so every
+        // event below is deterministic and may live in the compute stream.
+        trace_span!(begin "mm.image", prime = prime);
+        let image = PrimeImage::compute(prime, &gens, order, options);
+        match &image {
+            Some(img) => trace_span!(
+                end "mm.image",
+                prime = prime,
+                accepted = 1u64,
+                reductions = img.reductions,
+                complete = img.complete as usize,
+            ),
+            None => trace_span!(end "mm.image", prime = prime, accepted = 0u64),
+        }
+        let Some(image) = image else {
             discarded += 1;
+            trace_event!("mm.prime.discard", prime = prime);
             continue;
         };
         if !image.complete {
             // An iteration-bounded run has no lift: a truncated basis is not
             // a Gröbner basis, so verification could never pass. The exact
             // engine owns the incomplete-basis contract.
+            trace_event!("mm.fallback", incomplete = 1u64, prime = prime);
             return LiftOutcome {
                 basis: None,
                 retries,
@@ -326,10 +344,23 @@ pub fn multimodular_basis_with_primes(
         }
         images.push(image);
         let majority = majority_indices(&images);
-        if let Some(polys) = reconstruct(&images, &majority) {
-            if verify(&polys, &gens, order) {
+        trace_event!("mm.vote", images = images.len(), majority = majority.len());
+        trace_span!(begin "mm.reconstruct", primes = majority.len());
+        let reconstructed = reconstruct(&images, &majority);
+        trace_span!(end "mm.reconstruct", ok = reconstructed.is_some() as usize);
+        if let Some(polys) = reconstructed {
+            trace_span!(begin "mm.verify", polys = polys.len());
+            let verified = verify(&polys, &gens, order);
+            trace_span!(end "mm.verify", ok = verified as usize);
+            if verified {
                 let lead = &images[majority[0]];
                 let outvoted = images.len() - majority.len();
+                trace_event!(
+                    "mm.lift.success",
+                    primes = images.len(),
+                    outvoted = outvoted,
+                    retries = retries,
+                );
                 return LiftOutcome {
                     basis: Some(MultimodularBasis {
                         polys,
@@ -345,6 +376,12 @@ pub fn multimodular_basis_with_primes(
         }
         retries += 1;
     }
+    trace_event!(
+        "mm.fallback",
+        budget_exhausted = 1u64,
+        images = images.len(),
+        discarded = discarded,
+    );
     LiftOutcome {
         basis: None,
         retries,

@@ -1,0 +1,23 @@
+// Fixture: rule D6 — direct trace-recorder use outside crates/trace and
+// the engine entry points. Expected findings: one per marked line, and a
+// reasoned allow that suppresses its site without further noise.
+
+pub fn builds_a_collector() -> usize {
+    let collector = symmap_trace::TraceCollector::new(4); // D6
+    collector.finalize().jobs.len()
+}
+
+pub fn installs_scopes() {
+    let _job = symmap_trace::recorder::install_job_scope; // D6
+    let _compute = symmap_trace::recorder::install_compute_scope; // D6
+}
+
+pub fn records_raw_events() {
+    symmap_trace::recorder::record_raw("x", symmap_trace::EventKind::Instant, &[]); // D6
+    symmap_trace::recorder::sched_raw("y", &[]); // D6
+}
+
+pub fn sanctioned_compute_entry() {
+    // lint:allow(D6): fixture's demonstration of a reasoned, used allow.
+    let _scope = symmap_trace::recorder::install_compute_scope(7, "demo");
+}

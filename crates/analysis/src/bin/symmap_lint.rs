@@ -113,7 +113,7 @@ fn main() -> ExitCode {
         }
         if report.is_clean() {
             println!(
-                "symmap-lint: {} files scanned, determinism rules D1–D5 clean",
+                "symmap-lint: {} files scanned, determinism rules D1–D6 clean",
                 report.files_scanned
             );
         } else {

@@ -11,6 +11,7 @@
 //! | D3 | no `f32`/`f64` arithmetic inside the exact paths (`crates/algebra/src/`, `crates/numeric/src/`) |
 //! | D4 | every `unsafe` block carries a `// SAFETY:` comment |
 //! | D5 | no `std::env::var` outside config/CI-switch sites (`crates/bench/` is the designated bench-config reader) |
+//! | D6 | no direct trace-recorder/collector construction outside `crates/trace/` and the engine's batch/pool entry points — instrumentation goes through the `trace_event!`/`trace_span!`/`trace_sched!` macros |
 //!
 //! Violations are suppressed with a **mandatory-reason** escape hatch:
 //!
@@ -54,6 +55,9 @@ pub enum Rule {
     D4,
     /// Environment read outside a config/CI-switch site.
     D5,
+    /// Direct trace-recorder use outside the trace crate / engine entry
+    /// points.
+    D6,
     /// `lint:allow` without a reason.
     A1,
     /// Stale `lint:allow` (suppresses nothing).
@@ -71,6 +75,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::D6 => "D6",
             Rule::A1 => "A1",
             Rule::A2 => "A2",
             Rule::A3 => "A3",
@@ -86,6 +91,7 @@ impl Rule {
             "D3" => Some(Rule::D3),
             "D4" => Some(Rule::D4),
             "D5" => Some(Rule::D5),
+            "D6" => Some(Rule::D6),
             _ => None,
         }
     }
@@ -106,6 +112,14 @@ fn applies_under(rule: Rule) -> &'static [&'static str] {
 fn allowed_under(rule: Rule) -> &'static [&'static str] {
     match rule {
         Rule::D2 | Rule::D5 => &["crates/bench/"],
+        // The trace crate implements the recorder; the engine's batch module
+        // owns the collector lifecycle and the pool→sched adapter, and the
+        // pool defines the observer hook. Everyone else uses the macros.
+        Rule::D6 => &[
+            "crates/trace/",
+            "crates/engine/src/batch.rs",
+            "crates/engine/src/pool.rs",
+        ],
         _ => &[],
     }
 }
@@ -793,6 +807,39 @@ fn check_d4(path: &str, stripped: &Stripped, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Spellings D6 flags: the recorder's raw entry points and the collector
+/// type itself. The `trace_event!`-family macros expand to these *inside*
+/// `crates/trace/` (exempt), so macro users never match.
+const D6_PATTERNS: &[&str] = &[
+    "TraceCollector",
+    "install_job_scope",
+    "install_compute_scope",
+    "record_raw",
+    "sched_raw",
+    "sched_event",
+];
+
+fn check_d6(path: &str, stripped: &Stripped, out: &mut Vec<Diagnostic>) {
+    for (line_idx, line) in stripped.code.iter().enumerate() {
+        for pat in D6_PATTERNS {
+            if let Some(col) = line.find(pat) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: line_idx + 1,
+                    column: col + 1,
+                    rule: Rule::D6,
+                    message: format!(
+                        "direct trace-recorder use (`{pat}`) outside crates/trace and the \
+                         engine entry points: instrument through the trace_event!/\
+                         trace_span!/trace_sched! macros"
+                    ),
+                });
+                break; // One diagnostic per line.
+            }
+        }
+    }
+}
+
 fn check_d5(path: &str, stripped: &Stripped, out: &mut Vec<Diagnostic>) {
     for (line_idx, line) in stripped.code.iter().enumerate() {
         if let Some(col) = line.find("env::var") {
@@ -823,7 +870,7 @@ fn path_in(path: &str, prefixes: &[&str]) -> bool {
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     let stripped = strip(source);
     let mut raw = Vec::new();
-    for rule in [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5] {
+    for rule in [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6] {
         let scope = applies_under(rule);
         if !scope.is_empty() && !path_in(rel_path, scope) {
             continue;
@@ -837,6 +884,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
             Rule::D3 => check_d3(rel_path, &stripped, &mut raw),
             Rule::D4 => check_d4(rel_path, &stripped, &mut raw),
             Rule::D5 => check_d5(rel_path, &stripped, &mut raw),
+            Rule::D6 => check_d6(rel_path, &stripped, &mut raw),
             _ => unreachable!("meta rules are not checkers"),
         }
     }
@@ -866,7 +914,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
                 column: allow.column,
                 rule: Rule::A3,
                 message: format!(
-                    "lint:allow names unknown rule `{}` (known: D1–D5)",
+                    "lint:allow names unknown rule `{}` (known: D1–D6)",
                     allow.rule_text
                 ),
             }),
@@ -1074,6 +1122,22 @@ mod tests {
         // Integer ranges and method calls on ints are not float literals.
         let ints = "fn f() -> usize { (0..10).map(|i| i.max(2)).sum() }\n";
         assert!(lint_source("crates/numeric/src/x.rs", ints).is_empty());
+    }
+
+    #[test]
+    fn d6_flags_direct_recorder_use_outside_entry_points() {
+        let src = "fn f() { let c = symmap_trace::TraceCollector::new(1); drop(c); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/engine/src/decompose.rs", src)),
+            vec!["D6"]
+        );
+        // The trace crate and the engine's batch/pool entry points are exempt.
+        assert!(lint_source("crates/trace/src/recorder.rs", src).is_empty());
+        assert!(lint_source("crates/engine/src/batch.rs", src).is_empty());
+        // Macro call sites never match: the raw entry-point names only occur
+        // in the macro expansion, which lives in crates/trace.
+        let macro_user = "fn f() { symmap_trace::trace_event!(\"x\"); }\n";
+        assert!(lint_source("crates/engine/src/decompose.rs", macro_user).is_empty());
     }
 
     #[test]

@@ -62,6 +62,52 @@ fn d5_fixture_flags_env_reads() {
 }
 
 #[test]
+fn d6_fixture_flags_direct_recorder_use() {
+    let diags = fixture("crates/algebra/src/direct_recorder.rs");
+    assert_eq!(rules(&diags), vec![Rule::D6; 5], "{diags:?}");
+    // One per raw entry point; the reasoned allow at the bottom suppresses
+    // its site silently.
+    let messages: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    for pat in [
+        "TraceCollector",
+        "install_job_scope",
+        "install_compute_scope",
+        "record_raw",
+        "sched_raw",
+    ] {
+        assert!(
+            messages.iter().any(|m| m.contains(pat)),
+            "no D6 diagnostic mentions {pat}: {messages:?}"
+        );
+    }
+}
+
+#[test]
+fn d6_exempts_the_trace_crate_and_engine_entry_points() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let source =
+        std::fs::read_to_string(root.join("crates/algebra/src/direct_recorder.rs")).unwrap();
+    for exempt in [
+        "crates/trace/src/recorder.rs",
+        "crates/engine/src/batch.rs",
+        "crates/engine/src/pool.rs",
+    ] {
+        // (On an exempt path the fixture's reasoned D6 allow correctly goes
+        // stale — A2 — so assert the absence of D6 findings, not emptiness.)
+        assert!(
+            lint::lint_source(exempt, &source)
+                .iter()
+                .all(|d| d.rule != Rule::D6),
+            "{exempt} must be exempt from D6"
+        );
+    }
+    // Everywhere else in the engine is NOT exempt.
+    assert!(lint::lint_source("crates/engine/src/decompose.rs", &source)
+        .iter()
+        .any(|d| d.rule == Rule::D6));
+}
+
+#[test]
 fn allow_meta_rules_fire_on_the_stale_allow_fixture() {
     let diags = fixture("crates/engine/src/stale_allow.rs");
     let mut got = rules(&diags);
@@ -90,6 +136,7 @@ fn every_fixture_violation_exits_nonzero_through_the_cli_contract() {
         ("crates/engine/src/missing_safety.rs", true),
         ("crates/engine/src/env_leak.rs", true),
         ("crates/engine/src/stale_allow.rs", true),
+        ("crates/algebra/src/direct_recorder.rs", true),
         ("crates/bench/src/allowed_paths.rs", false),
     ] {
         assert_eq!(

@@ -1,0 +1,133 @@
+//! The trace-overhead bench: the 11-kernel MP3 batch with tracing off vs on,
+//! gated at trace-on ≤ 1.10× trace-off.
+//!
+//! The observability layer claims to be near-free: with tracing off every
+//! instrumentation site is one relaxed atomic load, and with it on the
+//! recording is bounded ring pushes dwarfed by the Gröbner work they
+//! annotate. This bench turns that claim into a regression gate. Both sides
+//! run the identical cold-cache batch (the trace-determinism suite already
+//! pins that outcomes are byte-identical), so the ratio isolates pure
+//! recording cost. One remeasure (taking the per-side minimum) absorbs
+//! scheduler noise before the gate fails.
+//!
+//! In `SYMMAP_QUICK=1` mode both wall clocks are appended to `BENCH.json`,
+//! where `perfgate` gates them across runs like every other entry.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symmap_bench::{mp3_kernel_jobs, quickbench};
+use symmap_engine::{BatchResult, EngineConfig, MapJob, MapperConfig, MappingEngine};
+use symmap_libchar::catalog;
+use symmap_platform::machine::Badge4;
+
+/// Maximum allowed trace-on / trace-off wall-clock ratio.
+const MAX_OVERHEAD: f64 = 1.10;
+
+/// Runs the batch on a fresh engine (cold cache) so both sides do the full
+/// basis workload. Sequential: one worker keeps the comparison free of
+/// scheduling variance, which would drown the ≤ 10% budget being measured.
+fn run_cold(jobs: &[MapJob], trace: bool) -> BatchResult {
+    MappingEngine::new(EngineConfig {
+        workers: 1,
+        trace,
+        ..EngineConfig::default()
+    })
+    .run(jobs)
+}
+
+fn measure_pair(jobs: &[MapJob], samples: usize) -> (u128, u128) {
+    let off = quickbench::measure_ns(2, samples, || {
+        criterion::black_box(run_cold(jobs, false));
+    });
+    let on = quickbench::measure_ns(2, samples, || {
+        criterion::black_box(run_cold(jobs, true));
+    });
+    (off, on)
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var("SYMMAP_QUICK").is_ok();
+    let badge = Badge4::new();
+    let library = Arc::new(catalog::full_catalog(&badge));
+    let jobs = mp3_kernel_jobs(&library, &MapperConfig::default());
+    assert_eq!(jobs.len(), 11, "the MP3 kernel batch is 11 jobs");
+
+    // Determinism guard first: the traced run maps exactly what the
+    // untraced run maps (the full byte-identity contract lives in the
+    // trace-determinism suite; this is the bench's own sanity check).
+    let untraced = run_cold(&jobs, false);
+    let traced = run_cold(&jobs, true);
+    assert_eq!(
+        format!("{:?}", traced.outcomes),
+        format!("{:?}", untraced.outcomes),
+        "tracing perturbed the MP3 batch"
+    );
+    let trace = traced.trace.expect("tracing was enabled");
+    assert!(trace.deterministic_event_count() > 0);
+
+    let samples = if quick { 5 } else { 9 };
+    let (mut wall_off, mut wall_on) = measure_pair(&jobs, samples);
+    let mut ratio = wall_on as f64 / wall_off.max(1) as f64;
+    if ratio > MAX_OVERHEAD {
+        // One remeasure, keeping each side's minimum: a single descheduling
+        // blip on either side should not fail the gate.
+        let (off2, on2) = measure_pair(&jobs, samples);
+        wall_off = wall_off.min(off2);
+        wall_on = wall_on.min(on2);
+        ratio = wall_on as f64 / wall_off.max(1) as f64;
+    }
+    println!(
+        "trace_overhead: off {wall_off} ns, on {wall_on} ns, ratio {ratio:.3}x \
+         ({} deterministic events per traced batch)",
+        trace.deterministic_event_count()
+    );
+    assert!(
+        ratio <= MAX_OVERHEAD,
+        "tracing costs {ratio:.3}x on the MP3 batch (budget {MAX_OVERHEAD}x)"
+    );
+
+    if quick {
+        let note = {
+            let base = quickbench::run_note();
+            let overhead = format!("trace overhead {ratio:.3}x");
+            if base.is_empty() {
+                overhead
+            } else {
+                format!("{base}; {overhead}")
+            }
+        };
+        quickbench::append_entries(&[
+            quickbench::QuickEntry {
+                note: note.clone(),
+                ..quickbench::entry("trace_overhead/mp3-11-kernels/trace-off", wall_off, None)
+            },
+            quickbench::QuickEntry {
+                note,
+                ..quickbench::entry("trace_overhead/mp3-11-kernels/trace-on", wall_on, None)
+            },
+        ]);
+        println!(
+            "recorded trace_overhead entries to {}",
+            quickbench::bench_json_path().display()
+        );
+        return;
+    }
+
+    c.bench_function("trace_overhead/mp3-11-kernels/trace-off", |b| {
+        b.iter(|| run_cold(&jobs, false))
+    });
+    c.bench_function("trace_overhead/mp3-11-kernels/trace-on", |b| {
+        b.iter(|| run_cold(&jobs, true))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

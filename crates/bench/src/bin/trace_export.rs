@@ -1,0 +1,80 @@
+//! `trace_export` — runs the 11-kernel MP3 mapping batch with tracing on
+//! and writes the two observability artifacts:
+//!
+//! * `<dir>/mp3_batch.trace.json` — chrome://tracing trace-event JSON
+//!   (load in Perfetto / `chrome://tracing`),
+//! * `<dir>/mp3_batch.metrics.json` — the batch's metrics-registry delta.
+//!
+//! `<dir>` is the first CLI argument, default `target/trace`. CI runs this
+//! after the test passes and uploads both files as build artifacts, so every
+//! PR has an inspectable trace of the canonical batch. The export is
+//! validated before writing (the same schema check the trace-determinism
+//! suite pins), so a malformed trace fails the run instead of shipping.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use symmap_bench::mp3_kernel_jobs;
+use symmap_engine::{EngineConfig, MapperConfig, MappingEngine};
+use symmap_libchar::catalog;
+use symmap_platform::machine::Badge4;
+use symmap_trace::{to_chrome_json, validate_chrome_trace};
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/trace"));
+
+    let badge = Badge4::new();
+    let library = Arc::new(catalog::full_catalog(&badge));
+    let jobs = mp3_kernel_jobs(&library, &MapperConfig::default());
+    let engine = MappingEngine::new(EngineConfig {
+        trace: true,
+        ..EngineConfig::default()
+    });
+    let result = engine.run(&jobs);
+    let mapped = result.outcomes.iter().filter(|o| o.is_ok()).count();
+    let trace = result.trace.expect("tracing was enabled");
+
+    let chrome = to_chrome_json(&trace);
+    let events = match validate_chrome_trace(&chrome) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("trace_export: chrome trace failed validation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = result.stats.metrics.to_json();
+
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("trace_export: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let trace_path = dir.join("mp3_batch.trace.json");
+    let metrics_path = dir.join("mp3_batch.metrics.json");
+    for (path, contents) in [(&trace_path, &chrome), (&metrics_path, &metrics)] {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("trace_export: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "trace_export: {mapped}/{} kernels mapped at {} workers",
+        jobs.len(),
+        result.stats.workers
+    );
+    println!(
+        "trace_export: {events} chrome events ({} deterministic, {} sched) -> {}",
+        trace.deterministic_event_count(),
+        trace.sched.len(),
+        trace_path.display()
+    );
+    println!(
+        "trace_export: metrics snapshot -> {}",
+        metrics_path.display()
+    );
+    ExitCode::SUCCESS
+}

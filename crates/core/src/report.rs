@@ -179,6 +179,35 @@ pub fn render_engine_stats(stats: &EngineStats) -> String {
             shard.hits, shard.misses, shard.evictions, shard.len
         ));
     }
+    // Per-phase breakdown over the unified registry window: every counter
+    // rolls up under its name's leading family segment (cache, alpha, fp,
+    // lift, pool, …), histograms report count and mean.
+    let mut families: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for (name, v) in &stats.metrics.counters {
+        let family = name.split('.').next().unwrap_or(name);
+        *families.entry(family).or_default() += v;
+    }
+    families.retain(|_, total| *total > 0);
+    if !families.is_empty() {
+        out.push_str(&format!(
+            "  per-phase counters: {:<10} {:>10}\n",
+            "phase", "events"
+        ));
+        for (family, total) in &families {
+            out.push_str(&format!("    {:<24} {:>10}\n", family, total));
+        }
+    }
+    for (name, h) in &stats.metrics.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "    {:<24} {:>10} samples, mean {:.1}\n",
+            name,
+            h.count,
+            h.sum as f64 / h.count as f64
+        ));
+    }
     out
 }
 

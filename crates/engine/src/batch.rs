@@ -34,11 +34,17 @@ use symmap_algebra::groebner::{CacheConfig, CacheShardStats, SharedGroebnerCache
 use symmap_algebra::poly::Poly;
 use symmap_algebra::var::Var;
 use symmap_libchar::Library;
+// batch.rs is a D6-exempt engine entry point: it owns the collector
+// lifecycle and the pool→sched-channel adapter (see symmap-lint).
+use symmap_trace::recorder::{install_job_scope, DEFAULT_STREAM_CAPACITY};
+use symmap_trace::sink::WallClock;
+use symmap_trace::{BatchTrace, MetricsSnapshot, TraceCollector};
 
 use crate::decompose::{Mapper, MapperConfig};
 use crate::error::CoreError;
 use crate::mapping::MappingSolution;
 use crate::pool;
+use crate::pool::SchedObserver;
 
 /// Sizing of the batch engine: worker threads and shared-cache geometry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +61,12 @@ pub struct EngineConfig {
     /// this phase: mapper output is byte-identical with it on or off — the
     /// probe only adds mod-p telemetry to [`EngineStats`].
     pub modular_prefilter: bool,
+    /// Enables structured tracing for the batch: every run collects per-job
+    /// and per-compute event streams plus a sched channel, returned as
+    /// [`BatchResult::trace`]. Non-perturbing by construction — outcomes are
+    /// byte-identical with it on or off (the trace-determinism suite pins
+    /// this at every worker count).
+    pub trace: bool,
 }
 
 impl Default for EngineConfig {
@@ -62,7 +74,8 @@ impl Default for EngineConfig {
     /// environment variable overrides it (CI sets it to 4 so the whole test
     /// suite exercises the parallel path; output is identical either way).
     /// The modular prefilter is off unless `SYMMAP_TEST_MODULAR` enables it
-    /// the same way (CI runs the suite a third time with it on).
+    /// the same way (CI runs the suite a third time with it on), and tracing
+    /// is off unless `SYMMAP_TEST_TRACE` enables it (a fifth CI pass).
     fn default() -> Self {
         let cache = CacheConfig::default();
         EngineConfig {
@@ -70,6 +83,7 @@ impl Default for EngineConfig {
             cache_shards: cache.shards,
             cache_capacity: cache.capacity,
             modular_prefilter: modular_from_env().unwrap_or(false),
+            trace: trace_from_env().unwrap_or(false),
         }
     }
 }
@@ -100,6 +114,16 @@ fn modular_from_env() -> Option<bool> {
     // lint:allow(D5): this IS the CI switch — the modular prefilter is an
     // advisory cache prefilter and cannot change mapping output.
     match std::env::var("SYMMAP_TEST_MODULAR").ok()?.trim() {
+        "" | "0" => Some(false),
+        _ => Some(true),
+    }
+}
+
+fn trace_from_env() -> Option<bool> {
+    // lint:allow(D5): this IS the CI switch — tracing is provably
+    // non-perturbing (the trace-determinism suite pins outcomes byte-
+    // identical with it on or off).
+    match std::env::var("SYMMAP_TEST_TRACE").ok()?.trim() {
         "" | "0" => Some(false),
         _ => Some(true),
     }
@@ -137,6 +161,11 @@ impl MapJob {
 }
 
 /// What one batch run did: volume, scheduling and cache activity.
+///
+/// Every cache/probe/lift field below is *derived* from one
+/// [`MetricsSnapshot`] delta over the shared registry
+/// ([`SharedGroebnerCache::metrics`]) — the named fields are the stable
+/// convenience view, [`EngineStats::metrics`] is the full window.
 #[derive(Debug, Clone)]
 pub struct EngineStats {
     /// Jobs in the batch.
@@ -189,6 +218,11 @@ pub struct EngineStats {
     /// Mod-p prime images feeding the successful lifts' CRT combines this
     /// batch.
     pub crt_primes_used: usize,
+    /// The full metrics window this batch's named fields were derived from:
+    /// every counter/histogram as a delta over the run, every gauge at its
+    /// post-run level. Includes metrics with no named field (e.g. the
+    /// `groebner.reductions` histogram and `pool.steals`).
+    pub metrics: MetricsSnapshot,
 }
 
 impl EngineStats {
@@ -233,6 +267,10 @@ pub struct BatchResult {
     pub outcomes: Vec<Result<MappingSolution, CoreError>>,
     /// Scheduling and cache statistics of the run.
     pub stats: EngineStats,
+    /// The run's trace when [`EngineConfig::trace`] was on: per-job streams
+    /// in job-index order, per-compute streams keyed by cache key, and the
+    /// (non-deterministic) sched channel. `None` with tracing off.
+    pub trace: Option<BatchTrace>,
 }
 
 impl BatchResult {
@@ -299,10 +337,8 @@ impl MappingEngine {
         // lint:allow(D2): stats-only wall clock — feeds EngineStats.wall for
         // reporting and never influences which mapping is produced.
         let start = Instant::now();
-        let before = self.cache.shard_stats();
-        let alpha_before = self.cache.alpha_shard_stats();
-        let fp_before = self.cache.fp_probe_stats();
-        let lift_before = self.cache.lift_stats();
+        let before = self.cache.metrics_snapshot();
+        let steal_counter = self.cache.metrics().counter("pool.steals");
 
         // Close the interner side channel: intern every output symbol on this
         // thread, in job order, before any worker can race to it.
@@ -312,28 +348,39 @@ impl MappingEngine {
             }
         }
 
-        let (outcomes, pool_stats) = pool::run_batch(jobs.len(), self.config.workers, |i| {
-            let job = &jobs[i];
-            Mapper::with_shared_cache(&job.library, job.config.clone(), Arc::clone(&self.cache))
-                .map_polynomial(&job.target)
+        // The collector exists only for traced runs; with tracing off every
+        // macro site below (and in algebra) is a single relaxed load.
+        let collector = self.config.trace.then(|| {
+            TraceCollector::with_clock(
+                jobs.len(),
+                DEFAULT_STREAM_CAPACITY,
+                Box::new(WallClock::new()),
+            )
+        });
+        let observer = collector.as_ref().map(|c| PoolTraceAdapter {
+            collector: Arc::clone(c),
         });
 
-        let cache_shards = self
-            .cache
-            .shard_stats()
-            .iter()
-            .zip(&before)
-            .map(|(after, before)| after.delta_since(before))
-            .collect();
-        let alpha_shards = self
-            .cache
-            .alpha_shard_stats()
-            .iter()
-            .zip(&alpha_before)
-            .map(|(after, before)| after.delta_since(before))
-            .collect();
-        let fp = self.cache.fp_probe_stats().delta_since(&fp_before);
-        let lift = self.cache.lift_stats().delta_since(&lift_before);
+        let (outcomes, pool_stats) = pool::run_batch_observed(
+            jobs.len(),
+            self.config.workers,
+            |i| {
+                let job = &jobs[i];
+                // Job-channel scope: every deterministic event a job records
+                // (cache requests, compute spans it triggers) files under its
+                // job index, so streams merge identically at any worker count.
+                let _scope = collector
+                    .as_ref()
+                    .map(|c| install_job_scope(c, i, &job.label));
+                Mapper::with_shared_cache(&job.library, job.config.clone(), Arc::clone(&self.cache))
+                    .map_polynomial(&job.target)
+            },
+            observer.as_ref().map(|o| o as &dyn SchedObserver),
+        );
+        steal_counter.add(pool_stats.steals as u64);
+
+        let delta = self.cache.metrics_snapshot().delta_since(&before);
+        let shard_count = self.cache.shard_count();
         BatchResult {
             outcomes,
             stats: EngineStats {
@@ -341,19 +388,58 @@ impl MappingEngine {
                 workers: pool_stats.workers,
                 steals: pool_stats.steals,
                 wall: start.elapsed(),
-                cache_shards,
-                alpha_shards,
-                fp_hits: fp.fp_hits,
-                fp_rejects: fp.fp_rejects,
-                unlucky_primes: fp.unlucky_primes,
-                fp_exact_reuse: fp.exact_probes,
-                lift_success: lift.lift_success,
-                lift_retry: lift.lift_retry,
-                lift_fallback: lift.lift_fallback,
-                crt_primes_used: lift.crt_primes_used,
+                cache_shards: shard_deltas(&delta, "cache.shard", shard_count),
+                alpha_shards: shard_deltas(&delta, "alpha.shard", shard_count),
+                fp_hits: delta.counter("fp.hits") as usize,
+                fp_rejects: delta.counter("fp.rejects") as usize,
+                unlucky_primes: delta.counter("fp.unlucky_primes") as usize,
+                fp_exact_reuse: delta.counter("fp.exact_reuse") as usize,
+                lift_success: delta.counter("lift.success") as usize,
+                lift_retry: delta.counter("lift.retry") as usize,
+                lift_fallback: delta.counter("lift.fallback") as usize,
+                crt_primes_used: delta.counter("lift.crt_primes") as usize,
+                metrics: delta,
             },
+            trace: collector.map(|c| c.finalize()),
         }
     }
+}
+
+/// Forwards pool scheduling callbacks onto the trace sched channel. Lives
+/// here (not in [`crate::pool`]) so the pool stays free of the trace
+/// dependency; which worker ran which job is nondeterministic at
+/// `workers > 1`, which is exactly what the sched channel is for.
+struct PoolTraceAdapter {
+    collector: Arc<TraceCollector>,
+}
+
+impl SchedObserver for PoolTraceAdapter {
+    fn job_start(&self, worker: usize, index: usize, stolen: bool) {
+        self.collector.sched_event(
+            Some(worker),
+            if stolen { "pool.steal" } else { "pool.start" },
+            &[("job", index as u64)],
+        );
+    }
+
+    fn job_finish(&self, worker: usize, index: usize) {
+        self.collector
+            .sched_event(Some(worker), "pool.finish", &[("job", index as u64)]);
+    }
+}
+
+/// Rebuilds the per-shard counter view from the registry delta: counters
+/// (`hits`/`misses`/`evictions`) are windowed, `len` is the post-run level
+/// (gauges survive `delta_since` at their current value).
+fn shard_deltas(delta: &MetricsSnapshot, family: &str, shard_count: usize) -> Vec<CacheShardStats> {
+    (0..shard_count)
+        .map(|i| CacheShardStats {
+            hits: delta.counter(&format!("{family}.{i}.hits")) as usize,
+            misses: delta.counter(&format!("{family}.{i}.misses")) as usize,
+            evictions: delta.counter(&format!("{family}.{i}.evictions")) as usize,
+            len: delta.gauge(&format!("{family}.{i}.len")) as usize,
+        })
+        .collect()
 }
 
 #[cfg(test)]

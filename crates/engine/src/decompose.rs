@@ -19,6 +19,7 @@ use symmap_algebra::poly::Poly;
 use symmap_algebra::simplify::{default_var_order, simplify_modulo_cached, SideRelations};
 use symmap_algebra::var::VarSet;
 use symmap_libchar::{Library, LibraryElement};
+use symmap_trace::{trace_event, trace_span};
 
 use crate::batch::EngineConfig;
 use crate::cost::{combined_accuracy, CostEstimate, CostEvaluator};
@@ -157,7 +158,17 @@ impl Mapper {
         let mut best: Option<MappingSolution> = None;
         let mut nodes = 0_usize;
         let mut chosen: Vec<&LibraryElement> = Vec::new();
-        self.explore(target, &ordered, 0, &mut chosen, &mut best, &mut nodes)?;
+        // The branch-and-bound within one job is sequential and a pure
+        // function of (target, library, config), so every event below is
+        // deterministic job-channel material.
+        trace_span!(begin "mapper.search", candidates = ordered.len());
+        let explored = self.explore(target, &ordered, 0, &mut chosen, &mut best, &mut nodes);
+        trace_span!(
+            end "mapper.search",
+            nodes = nodes,
+            found = best.is_some() as usize,
+        );
+        explored?;
 
         let mut best = best.ok_or_else(|| CoreError::NoAccurateSolution {
             target: target.to_string(),
@@ -242,6 +253,15 @@ impl Mapper {
             .as_ref()
             .map(|b| solution.cost.better_than(&b.cost))
             .unwrap_or(true);
+        // One subset-pricing decision: what the node cost and whether it was
+        // adopted as the incumbent.
+        trace_event!(
+            "mapper.price",
+            depth = chosen.len(),
+            cycles = solution.cost.cycles,
+            acceptable = acceptable as usize,
+            adopted = (acceptable && improves) as usize,
+        );
         if acceptable && improves {
             *best = Some(solution);
         }
@@ -254,6 +274,12 @@ impl Mapper {
         if self.config.use_bounding {
             if let Some(b) = best.as_ref() {
                 if chosen_element_cost >= b.cost.cycles {
+                    trace_event!(
+                        "mapper.prune",
+                        depth = chosen.len(),
+                        bound = chosen_element_cost,
+                        incumbent = b.cost.cycles,
+                    );
                     return Ok(());
                 }
             }

@@ -42,6 +42,28 @@ pub struct PoolStats {
     pub steals: usize,
 }
 
+/// Scheduling-side observer for a batch run. The pool reports job lifecycle
+/// and steal events through this hook; the engine adapts it onto the trace
+/// sched channel. Everything reported here is scheduling-dependent by
+/// definition — which worker ran which job, what was stolen — so consumers
+/// must never let it influence results (the trace layer quarantines it in
+/// the non-deterministic channel).
+///
+/// All methods default to no-ops so an observer can pick the events it
+/// cares about. Callbacks run on the worker threads; implementations must
+/// be cheap and `Sync`.
+pub trait SchedObserver: Sync {
+    /// Worker `worker` starts job `index` (`stolen` = it came off another
+    /// worker's deque).
+    fn job_start(&self, worker: usize, index: usize, stolen: bool) {
+        let _ = (worker, index, stolen);
+    }
+    /// Worker `worker` finished job `index`.
+    fn job_finish(&self, worker: usize, index: usize) {
+        let _ = (worker, index);
+    }
+}
+
 /// Runs `job_count` pure jobs on `workers` threads, returning the results in
 /// job-index order together with the run's [`PoolStats`].
 ///
@@ -58,9 +80,35 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_batch_observed(job_count, workers, job, None)
+}
+
+/// [`run_batch`] with an optional [`SchedObserver`] receiving job lifecycle
+/// and steal events as they happen on the worker threads.
+pub fn run_batch_observed<T, F>(
+    job_count: usize,
+    workers: usize,
+    job: F,
+    observer: Option<&dyn SchedObserver>,
+) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let workers = workers.max(1).min(job_count.max(1));
     if workers == 1 {
-        let results = (0..job_count).map(&job).collect();
+        let results = (0..job_count)
+            .map(|i| {
+                if let Some(obs) = observer {
+                    obs.job_start(0, i, false);
+                }
+                let out = job(i);
+                if let Some(obs) = observer {
+                    obs.job_finish(0, i);
+                }
+                out
+            })
+            .collect();
         return (
             results,
             PoolStats {
@@ -82,7 +130,7 @@ where
                 let queues = &queues;
                 let job = &job;
                 let steals = &steals;
-                scope.spawn(move || worker_loop(w, queues, job, steals))
+                scope.spawn(move || worker_loop(w, queues, job, steals, observer))
             })
             .collect();
         handles
@@ -116,16 +164,26 @@ fn worker_loop<T, F>(
     queues: &[Mutex<VecDeque<usize>>],
     job: &F,
     steals: &AtomicUsize,
+    observer: Option<&dyn SchedObserver>,
 ) -> Vec<(usize, T)>
 where
     F: Fn(usize) -> T + Sync,
 {
     let mut out = Vec::new();
+    let run = |index: usize, stolen: bool, out: &mut Vec<(usize, T)>| {
+        if let Some(obs) = observer {
+            obs.job_start(me, index, stolen);
+        }
+        out.push((index, job(index)));
+        if let Some(obs) = observer {
+            obs.job_finish(me, index);
+        }
+    };
     loop {
         // Own deque first, front to back (preserves the dealt order).
         let own = queues[me].lock().pop_front();
         if let Some(index) = own {
-            out.push((index, job(index)));
+            run(index, false, &mut out);
             continue;
         }
         // Idle: steal from the back of the first non-empty victim, scanning
@@ -141,7 +199,7 @@ where
         match stolen {
             Some(index) => {
                 steals.fetch_add(1, Ordering::Relaxed);
-                out.push((index, job(index)));
+                run(index, true, &mut out);
             }
             None => break,
         }

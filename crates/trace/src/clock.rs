@@ -1,0 +1,36 @@
+//! The `Clock` abstraction that quarantines wall time.
+//!
+//! Algorithmic code never reads a wall clock (lint rule D2); deterministic
+//! trace streams are ordered by logical sequence numbers only. The *sched*
+//! channel may carry wall-clock timestamps, but only through this trait —
+//! and the only implementation that actually touches `std::time` lives in
+//! [`crate::sink`], the one module annotated as allowed under rule D2.
+
+/// A monotone nanosecond source for sched-channel timestamps.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (per-clock) origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// A clock that always reads zero: the default for deterministic tests and
+/// for callers that want sched events ordered by arrival index alone.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now_ns(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_clock_reads_zero_forever() {
+        let c = NullClock;
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+    }
+}

@@ -1,0 +1,511 @@
+//! Exporters: chrome://tracing trace-event JSON for a [`BatchTrace`], plus a
+//! minimal hand-rolled JSON parser used by the schema tests (the workspace
+//! builds offline; there is no real JSON dependency to lean on).
+//!
+//! # Chrome trace layout
+//!
+//! The export is the *JSON object format* (`{"traceEvents": [...]}`), which
+//! both Perfetto and `about:tracing` load:
+//!
+//! * `pid 1` — the job channel: one `tid` per job index, events stamped
+//!   with their **logical** sequence number as `ts` (microsecond units are
+//!   nominal; the axis reads as event ordinals).
+//! * `pid 2` — the compute channel: one `tid` per computed cache key, in
+//!   key order.
+//! * `pid 0` — the sched channel: one `tid` per worker (tid 0 for events
+//!   recorded below the pool, where the worker is unknown), stamped with
+//!   the collector clock's nanoseconds ÷ 1000.
+//!
+//! Process/thread `"M"` metadata events name every lane. Span events are
+//! emitted as recorded (`B`/`E`); within a deterministic stream `ts` is the
+//! event's own `seq`, so spans are trivially well-nested per lane.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, EventStream, SchedEvent};
+use crate::recorder::BatchTrace;
+use crate::registry::escape_json;
+
+/// Renders `trace` as chrome trace-event JSON.
+pub fn to_chrome_json(trace: &BatchTrace) -> String {
+    let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+    let mut first = true;
+    meta(&mut out, &mut first, 1, 0, "process_name", "jobs");
+    meta(&mut out, &mut first, 2, 0, "process_name", "computes");
+    meta(&mut out, &mut first, 0, 0, "process_name", "sched");
+    for (i, stream) in trace.jobs.iter().enumerate() {
+        let tid = i as u64 + 1;
+        meta(
+            &mut out,
+            &mut first,
+            1,
+            tid,
+            "thread_name",
+            &format!("job {i}: {}", stream.label),
+        );
+        stream_events(&mut out, &mut first, 1, tid, "job", stream);
+    }
+    for (lane, (key, stream)) in trace.computes.iter().enumerate() {
+        let tid = lane as u64 + 1;
+        meta(
+            &mut out,
+            &mut first,
+            2,
+            tid,
+            "thread_name",
+            &format!("compute {key:016x}: {}", stream.label),
+        );
+        stream_events(&mut out, &mut first, 2, tid, "compute", stream);
+    }
+    for event in &trace.sched {
+        sched_event(&mut out, &mut first, event);
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+fn meta(out: &mut String, first: &mut bool, pid: u64, tid: u64, name: &str, value: &str) {
+    sep(out, first);
+    write!(
+        out,
+        "{{\"name\": \"{name}\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        escape_json(value)
+    )
+    .expect("writing to String cannot fail");
+}
+
+fn stream_events(
+    out: &mut String,
+    first: &mut bool,
+    pid: u64,
+    tid: u64,
+    cat: &str,
+    stream: &EventStream,
+) {
+    for e in &stream.events {
+        sep(out, first);
+        write!(
+            out,
+            "{{\"name\": \"{}\", \"cat\": \"{cat}\", \"ph\": \"{}\", \
+             \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}",
+            escape_json(e.name),
+            e.kind.chrome_ph(),
+            e.seq
+        )
+        .expect("writing to String cannot fail");
+        if e.kind == EventKind::Instant {
+            // Thread-scoped instants render as small arrows in the lane.
+            out.push_str(", \"s\": \"t\"");
+        }
+        args_object(out, &e.args);
+        out.push('}');
+    }
+}
+
+fn sched_event(out: &mut String, first: &mut bool, event: &SchedEvent) {
+    sep(out, first);
+    let tid = event.worker.map_or(0, |w| w as u64 + 1);
+    write!(
+        out,
+        "{{\"name\": \"{}\", \"cat\": \"sched\", \"ph\": \"i\", \"s\": \"t\", \
+         \"pid\": 0, \"tid\": {tid}, \"ts\": {}",
+        escape_json(event.name),
+        event.ts_ns / 1000
+    )
+    .expect("writing to String cannot fail");
+    let mut args: Vec<(&'static str, u64)> = vec![("seq", event.seq)];
+    args.extend_from_slice(&event.args);
+    args_object(out, &args);
+    out.push('}');
+}
+
+fn args_object(out: &mut String, args: &[(&'static str, u64)]) {
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(", \"args\": {");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "\"{}\": {v}", escape_json(k)).expect("writing to String cannot fail");
+    }
+    out.push('}');
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+/// A parsed JSON value, as minimal as the schema tests need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; the schema tests only read integers
+    /// that fit exactly).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object. `BTreeMap` so lookups and iteration are deterministic.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The object map, when this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, when this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string value, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for JsonValue {
+    type Output = JsonValue;
+    fn index(&self, key: &str) -> &JsonValue {
+        static NULL: JsonValue = JsonValue::Null;
+        self.as_object().and_then(|m| m.get(key)).unwrap_or(&NULL)
+    }
+}
+
+/// Parses a complete JSON document. Errors carry a byte offset and a short
+/// message — enough for a failing schema test to point at the defect.
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("short \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos = end;
+                            // Surrogates are not expected from our own
+                            // writers; map unpaired ones to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape {:?}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so this is
+                    // always on a char boundary).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Structural validation of a chrome trace export: parses the JSON, checks
+/// the trace-event schema fields, and checks that `B`/`E` spans balance per
+/// `(pid, tid)` lane. Returns the event count. This is the "loads in
+/// Perfetto/about:tracing" pin the acceptance criteria ask for, enforced as
+/// a test rather than a screenshot.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let doc = parse_json(json)?;
+    let events = doc["traceEvents"]
+        .as_array()
+        .ok_or("top-level \"traceEvents\" array missing")?;
+    let mut depth: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let obj = event
+            .as_object()
+            .ok_or(format!("event {i} not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("event {i} missing \"ph\""))?;
+        obj.get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("event {i} missing \"name\""))?;
+        let pid = obj
+            .get("pid")
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("event {i} missing \"pid\""))?;
+        let tid = obj
+            .get("tid")
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("event {i} missing \"tid\""))?;
+        if ph != "M" && obj.get("ts").and_then(JsonValue::as_u64).is_none() {
+            return Err(format!("event {i} missing \"ts\""));
+        }
+        match ph {
+            "B" => *depth.entry((pid, tid)).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry((pid, tid)).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!("unbalanced E at event {i} (pid {pid}, tid {tid})"));
+                }
+            }
+            "i" | "C" | "M" => {}
+            other => return Err(format!("event {i} has unknown ph {other:?}")),
+        }
+    }
+    if let Some(((pid, tid), d)) = depth.iter().find(|(_, d)| **d != 0) {
+        return Err(format!(
+            "lane (pid {pid}, tid {tid}) ends with {d} unclosed span(s)"
+        ));
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::recorder::{install_compute_scope, install_job_scope, record_raw, TraceCollector};
+
+    fn sample_trace() -> BatchTrace {
+        let collector = TraceCollector::new(2);
+        {
+            let _job = install_job_scope(&collector, 0, "alpha");
+            record_raw("mapper.node", EventKind::Instant, &[("depth", 0)]);
+            let _compute = install_compute_scope(42, "basis x+y");
+            record_raw("groebner.compute", EventKind::Instant, &[("reductions", 3)]);
+        }
+        {
+            let _job = install_job_scope(&collector, 1, "beta");
+            record_raw("mapper.node", EventKind::Instant, &[("depth", 1)]);
+        }
+        collector.sched_event(Some(0), "pool.job.start", &[("job", 0)]);
+        collector.finalize()
+    }
+
+    #[test]
+    fn chrome_export_parses_and_balances() {
+        let trace = sample_trace();
+        let json = to_chrome_json(&trace);
+        let count = validate_chrome_trace(&json).expect("export must validate");
+        assert!(count > 5, "expected real events, got {count}");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("pool.job.start"));
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_spans() {
+        let bad = r#"{"traceEvents": [
+            {"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 0}
+        ]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        let bad_close = r#"{"traceEvents": [
+            {"name": "x", "ph": "E", "pid": 1, "tid": 1, "ts": 0}
+        ]}"#;
+        assert!(validate_chrome_trace(bad_close).is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let doc = parse_json(r#"{"a": [1, -2.5, "x\n\"yA", {"b": true, "c": null}], "d": false}"#)
+            .unwrap();
+        let a = doc["a"].as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1], JsonValue::Number(-2.5));
+        assert_eq!(a[2].as_str(), Some("x\n\"yA"));
+        assert_eq!(a[3]["b"], JsonValue::Bool(true));
+        assert_eq!(a[3]["c"], JsonValue::Null);
+        assert_eq!(doc["d"], JsonValue::Bool(false));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+}
