@@ -81,19 +81,22 @@ pub struct GroebnerOptions {
     /// and verified over ℚ, falling back to the exact engine whenever the
     /// lift cannot be certified. The result is byte-identical to the exact
     /// path either way; only the wall clock (and the lift counters) change.
-    /// Defaults to the `SYMMAP_TEST_MULTIMODULAR=1` environment switch.
+    /// **On by default** (after four PRs of green opt-in soak); a
+    /// profitability gate still routes small all-integer ideals straight to
+    /// the exact engine, where the lift's fixed cost is pure overhead — see
+    /// [`lift_profitable`]. Set `SYMMAP_TEST_MULTIMODULAR=0` to opt out.
     pub multimodular: bool,
 }
 
-/// Whether `SYMMAP_TEST_MULTIMODULAR=1` is set, read once per process so a
-/// mid-run environment change can never fork option defaults between
-/// threads.
+/// Whether the multi-modular lift is the default compute path: on unless
+/// `SYMMAP_TEST_MULTIMODULAR=0`, read once per process so a mid-run
+/// environment change can never fork option defaults between threads.
 fn multimodular_from_env() -> bool {
     static FLAG: OnceLock<bool> = OnceLock::new();
     // lint:allow(D5): this IS the CI switch — the fourth tier-1 pass sets
-    // SYMMAP_TEST_MULTIMODULAR=1 to route every default-options run through
-    // the verified lift.
-    *FLAG.get_or_init(|| std::env::var("SYMMAP_TEST_MULTIMODULAR").is_ok_and(|v| v == "1"))
+    // SYMMAP_TEST_MULTIMODULAR=0 to prove the exact engine remains an
+    // independent ground truth with the lift fully disabled.
+    *FLAG.get_or_init(|| std::env::var("SYMMAP_TEST_MULTIMODULAR").map_or(true, |v| v != "0"))
 }
 
 impl Default for GroebnerOptions {
@@ -292,10 +295,37 @@ fn buchberger_core(
 struct LiftReport {
     /// The verified lift produced the basis (no exact run happened).
     success: bool,
+    /// The profitability gate routed the request straight to the exact
+    /// engine without attempting any prime image.
+    bypassed: bool,
     /// Votes/verifications that failed before the outcome was settled.
     retries: usize,
     /// Mod-p prime images that fed the final CRT combine.
     primes_used: usize,
+}
+
+/// Numerator size (in bits) at or above which an integer coefficient marks
+/// an ideal as lift-profitable: coefficients this wide are already past the
+/// single-word fast path and grow further under elimination.
+const LIFT_NUMERATOR_BITS: usize = 32;
+
+/// Whether the multi-modular lift is worth attempting on these generators.
+///
+/// Exact-path cost is driven by *rational coefficient growth* during
+/// elimination, and the input-visible trigger is a fractional or wide
+/// coefficient in some generator (the katsura-style ideals the lift wins
+/// ~17× on carry a `1/3`). Small all-integer ideals — the mapper's typical
+/// side-relation systems — reduce in microseconds over ℚ, where the lift's
+/// fixed cost (≥2 prime images + CRT + ℚ-verification) measured 2.6–4.6×
+/// overhead on the `groebner_engine` quick benches. A pure function of the
+/// generators, so cached bases stay scheduling-independent; the basis is
+/// byte-identical on either path (the lift is ℚ-verified before it is
+/// trusted), so the gate can never change a result — only a wall clock.
+fn lift_profitable(generators: &[Poly]) -> bool {
+    generators.iter().any(|g| {
+        g.iter()
+            .any(|(_, c)| !c.is_integer() || c.numer().bits() >= LIFT_NUMERATOR_BITS)
+    })
 }
 
 /// Routes one core computation: the multi-modular engine when
@@ -311,9 +341,19 @@ fn compute_core(
     if !options.multimodular {
         return (buchberger_core(generators, order, options), None);
     }
+    if !lift_profitable(generators) {
+        let report = LiftReport {
+            success: false,
+            bypassed: true,
+            retries: 0,
+            primes_used: 0,
+        };
+        return (buchberger_core(generators, order, options), Some(report));
+    }
     let outcome = crate::multimodular::multimodular_basis(generators, order, options);
     let report = LiftReport {
         success: outcome.basis.is_some(),
+        bypassed: false,
         retries: outcome.retries,
         primes_used: outcome.primes_used,
     };
@@ -598,6 +638,9 @@ pub struct LiftStats {
     /// Basis computations the lift could not certify, answered by the exact
     /// fallback instead. The result is still correct — just not faster.
     pub lift_fallback: usize,
+    /// Requests the profitability gate routed straight to the exact engine
+    /// (small all-integer ideals) without attempting a prime image.
+    pub lift_bypass: usize,
     /// Mod-p prime images that fed the final CRT combine, summed over
     /// successful lifts (1 means single-prime coefficients all round).
     pub crt_primes_used: usize,
@@ -741,6 +784,7 @@ pub struct SharedGroebnerCache {
     lift_success: Counter,
     lift_retry: Counter,
     lift_fallback: Counter,
+    lift_bypass: Counter,
     crt_primes_used: Counter,
     /// Distribution of S-polynomial reduction counts per core computation.
     reduction_sizes: Histogram,
@@ -797,6 +841,7 @@ impl SharedGroebnerCache {
             lift_success: metrics.counter("lift.success"),
             lift_retry: metrics.counter("lift.retry"),
             lift_fallback: metrics.counter("lift.fallback"),
+            lift_bypass: metrics.counter("lift.bypass"),
             crt_primes_used: metrics.counter("lift.crt_primes"),
             reduction_sizes: metrics.histogram("groebner.reductions"),
             metrics,
@@ -875,7 +920,9 @@ impl SharedGroebnerCache {
         );
         self.reduction_sizes.observe(core.reductions as u64);
         if let Some(report) = lift {
-            if report.success {
+            if report.bypassed {
+                self.lift_bypass.inc();
+            } else if report.success {
                 self.lift_success.inc();
                 self.crt_primes_used.add(report.primes_used as u64);
             } else {
@@ -1087,6 +1134,7 @@ impl SharedGroebnerCache {
             lift_success: self.lift_success.get() as usize,
             lift_retry: self.lift_retry.get() as usize,
             lift_fallback: self.lift_fallback.get() as usize,
+            lift_bypass: self.lift_bypass.get() as usize,
             crt_primes_used: self.crt_primes_used.get() as usize,
         }
     }
@@ -1505,8 +1553,28 @@ mod tests {
     }
 
     #[test]
+    fn lift_profitability_gate_reads_only_the_coefficients() {
+        // All-integer small ideals are bypassed…
+        let (gens, _) = mapper_side_relation_ideal();
+        assert!(!lift_profitable(&gens));
+        // …a single fractional coefficient flips the verdict…
+        assert!(lift_profitable(&[p("x^2 - 1/3")]));
+        // …and so does a numerator past the single-word fast path.
+        assert!(lift_profitable(&[p("4294967296*x - 1")]));
+        assert!(!lift_profitable(&[p("2147483647*x - 1")]));
+    }
+
+    #[test]
     fn multimodular_requests_route_through_the_verified_lift() {
-        let (gens, order) = mapper_side_relation_ideal();
+        // The fractional coefficient marks the ideal lift-profitable, so the
+        // request genuinely reaches the multi-modular engine.
+        let gens = vec![
+            p("x + y - s"),
+            p("x - y - d"),
+            p("x*y - q"),
+            p("x^2 - 1/3*sx"),
+        ];
+        let order = MonomialOrder::lex(&["x", "y", "s", "d", "q", "sx"]);
         let exact = GroebnerOptions {
             multimodular: false,
             ..GroebnerOptions::default()
@@ -1543,6 +1611,22 @@ mod tests {
             ),
             (0, 1)
         );
+        // An all-integer ideal is routed straight to the exact engine by the
+        // profitability gate: no image, no fallback — one bypass.
+        let (igens, iorder) = mapper_side_relation_ideal();
+        let before = cache.metrics_snapshot();
+        let gb = cache.basis(&igens, &iorder, &lifted);
+        assert!(gb.complete);
+        let delta = cache.metrics_snapshot().delta_since(&before);
+        assert_eq!(
+            (
+                delta.counter("lift.success"),
+                delta.counter("lift.fallback"),
+                delta.counter("lift.bypass"),
+            ),
+            (0, 0, 1)
+        );
+        assert_eq!(cache.lift_stats().lift_bypass, 1);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * Buchberger's algorithm for Gröbner bases ([`groebner`]),
 //! * a modular (ℤ/p) Gröbner fast path ([`modular`]) — the sound
 //!   membership prefilter used by the mapper's shared cache,
+//! * invariant polynomial fingerprints ([`fingerprint`]) — support masks,
+//!   degree signatures and ℤ/p evaluation hashes giving conservative O(1)
+//!   "cannot be equal / cannot divide / disjoint support" answers before any
+//!   exact arithmetic runs,
 //! * a multi-modular engine ([`multimodular`]) — reduced bases computed
 //!   mod a deterministic prime sequence, CRT-combined, rationally
 //!   reconstructed and *verified* over ℚ, making the mod-p run the primary
@@ -54,6 +58,7 @@ pub mod eliminate;
 pub mod error;
 pub mod expr;
 pub mod factor;
+pub mod fingerprint;
 pub mod groebner;
 pub mod horner;
 pub mod modular;

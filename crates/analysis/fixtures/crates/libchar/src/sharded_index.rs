@@ -1,0 +1,54 @@
+// Fixture: rule D1 on the library fingerprint index's failure mode. The real
+// `Library` (crates/libchar/src/library.rs) keys its shards by exact
+// variable support in a HashMap but answers every scan through an
+// insertion-ordered directory Vec; this fixture is the tempting-but-wrong
+// version that iterates the hash maps directly, so candidate order (and
+// therefore mapper output) would follow the hasher. Expected findings: the
+// `.values()` scan, the `for` over the shard map, and the `.keys()` dump.
+// The point lookups — the only sanctioned use — must NOT be flagged.
+use std::collections::HashMap;
+
+struct Shard {
+    mask: u64,
+    names: Vec<String>,
+}
+
+struct ShardedIndex {
+    by_support: HashMap<Vec<u32>, Shard>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ShardedIndex {
+    fn point_lookups_are_fine(&self, support: &[u32]) -> Option<&Shard> {
+        self.by_support.get(support)
+    }
+
+    fn position_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    fn bad_candidate_scan(&self, mask: u64) -> Vec<&str> {
+        // Hash order decides candidate order — exactly what the mapper's
+        // byte-identity contract forbids.
+        let shards = self.by_support.values(); // D1
+        shards
+            .filter(|s| s.mask & mask != 0)
+            .flat_map(|s| s.names.iter().map(String::as_str))
+            .collect()
+    }
+
+    fn bad_shard_walk(&self, mask: u64) -> usize {
+        let mut skipped = 0;
+        for (_support, shard) in &self.by_support {
+            // D1 (flagged on the `for` line)
+            if shard.mask & mask == 0 {
+                skipped += 1;
+            }
+        }
+        skipped
+    }
+
+    fn bad_name_dump(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect() // D1
+    }
+}

@@ -33,6 +33,20 @@ fn d1_fixture_flags_each_iteration_site_once() {
 }
 
 #[test]
+fn d1_fixture_catches_hash_ordered_candidate_scans_in_a_sharded_index() {
+    // The failure mode the fingerprint index (crates/libchar/src/library.rs)
+    // designs around: shards keyed by support in a HashMap, scanned in hash
+    // order. D1 must flag every iteration over the hash maps and stay quiet
+    // on the point lookups the real index restricts itself to.
+    let diags = fixture("crates/libchar/src/sharded_index.rs");
+    assert_eq!(rules(&diags), vec![Rule::D1; 3], "{diags:?}");
+    let messages: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains(".values()")));
+    assert!(messages.iter().any(|m| m.contains("for … in")));
+    assert!(messages.iter().any(|m| m.contains(".keys()")));
+}
+
+#[test]
 fn d2_fixture_flags_clock_and_thread_identity() {
     let diags = fixture("crates/engine/src/timing_leak.rs");
     assert_eq!(rules(&diags), vec![Rule::D2; 4], "{diags:?}");

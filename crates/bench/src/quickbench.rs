@@ -34,7 +34,7 @@ use std::time::Instant;
 /// The PR recorded into fresh entries when `SYMMAP_BENCH_PR` is unset.
 /// Bump alongside each perf-relevant PR so `perfgate` and readers can group
 /// the trajectory without parsing notes.
-pub const CURRENT_PR: u32 = 9;
+pub const CURRENT_PR: u32 = 10;
 
 /// One benchmark measurement destined for `BENCH.json`.
 #[derive(Debug, Clone, PartialEq, Eq)]

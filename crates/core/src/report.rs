@@ -162,11 +162,26 @@ pub fn render_engine_stats(stats: &EngineStats) -> String {
             stats.fp_hits, stats.fp_rejects, stats.unlucky_primes, stats.fp_exact_reuse,
         ));
     }
-    if stats.lift_success + stats.lift_retry + stats.lift_fallback > 0 {
+    if stats.lift_success + stats.lift_retry + stats.lift_fallback + stats.lift_bypass > 0 {
         out.push_str(&format!(
             "  multi-modular lift: {} verified lifts ({} prime images CRT-combined) / \
-             {} retries / {} exact fallbacks\n",
-            stats.lift_success, stats.crt_primes_used, stats.lift_retry, stats.lift_fallback,
+             {} retries / {} exact fallbacks / {} gate bypasses\n",
+            stats.lift_success,
+            stats.crt_primes_used,
+            stats.lift_retry,
+            stats.lift_fallback,
+            stats.lift_bypass,
+        ));
+    }
+    if stats.index_rejected + stats.index_kept > 0 {
+        out.push_str(&format!(
+            "  fingerprint index: {} elements pruned / {} kept \
+             ({} shards skipped whole, {:.1}% prune rate)\n",
+            stats.index_rejected,
+            stats.index_kept,
+            stats.index_shards_skipped,
+            100.0 * stats.index_rejected as f64
+                / (stats.index_rejected + stats.index_kept).max(1) as f64,
         ));
     }
     for (i, shard) in stats.cache_shards.iter().enumerate() {

@@ -218,6 +218,17 @@ pub struct EngineStats {
     /// Mod-p prime images feeding the successful lifts' CRT combines this
     /// batch.
     pub crt_primes_used: usize,
+    /// Basis requests the lift-profitability gate routed straight to the
+    /// exact engine this batch (small all-integer ideals).
+    pub lift_bypass: usize,
+    /// Library shards dismissed whole by the fingerprint index's support
+    /// test across this batch's candidate scans.
+    pub index_shards_skipped: usize,
+    /// Elements pruned by the fingerprint index without touching their
+    /// polynomials this batch.
+    pub index_rejected: usize,
+    /// Elements that survived candidate pruning this batch.
+    pub index_kept: usize,
     /// The full metrics window this batch's named fields were derived from:
     /// every counter/histogram as a delta over the run, every gauge at its
     /// post-run level. Includes metrics with no named field (e.g. the
@@ -341,8 +352,17 @@ impl MappingEngine {
         let steal_counter = self.cache.metrics().counter("pool.steals");
 
         // Close the interner side channel: intern every output symbol on this
-        // thread, in job order, before any worker can race to it.
+        // thread, in job order, before any worker can race to it. Jobs
+        // sharing one library `Arc` (the common batch shape) intern it once —
+        // on a thousand-element library the repeat walks would otherwise
+        // cost more than the mapping itself.
+        let mut seen: Vec<*const Library> = Vec::new();
         for job in jobs {
+            let ptr = Arc::as_ptr(&job.library);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
             for element in job.library.iter() {
                 Var::new(element.output_symbol());
             }
@@ -398,6 +418,10 @@ impl MappingEngine {
                 lift_retry: delta.counter("lift.retry") as usize,
                 lift_fallback: delta.counter("lift.fallback") as usize,
                 crt_primes_used: delta.counter("lift.crt_primes") as usize,
+                lift_bypass: delta.counter("lift.bypass") as usize,
+                index_shards_skipped: delta.counter("index.shards_skipped") as usize,
+                index_rejected: delta.counter("index.rejected") as usize,
+                index_kept: delta.counter("index.kept") as usize,
                 metrics: delta,
             },
             trace: collector.map(|c| c.finalize()),

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use symmap_algebra::factor::factor;
+use symmap_algebra::fingerprint::PolyFingerprint;
 use symmap_algebra::groebner::{GroebnerOptions, SharedGroebnerCache};
 use symmap_algebra::horner::horner_form_auto;
 use symmap_algebra::poly::Poly;
@@ -45,6 +46,12 @@ pub struct MapperConfig {
     /// Whether residual (unmapped) arithmetic runs in software floating point
     /// (true for the original double-precision code) or fixed point.
     pub float_residual: bool,
+    /// Select candidates through the library's fingerprint index (shard mask
+    /// tests) instead of scanning every element's polynomial. The surviving
+    /// candidate list is identical either way — same elements, same order;
+    /// the index only reaches "no shared variable" faster (see `DESIGN.md`
+    /// §9). Off only for ablation benches and paranoia suites.
+    pub use_fingerprint_index: bool,
     /// Options for the Gröbner-basis computations behind every candidate
     /// pricing (iteration bound, Buchberger criteria, pair-queue tiebreak).
     pub groebner: GroebnerOptions,
@@ -65,6 +72,7 @@ impl Default for MapperConfig {
             use_bounding: true,
             use_guidance: true,
             float_residual: true,
+            use_fingerprint_index: true,
             groebner: GroebnerOptions::default(),
             engine: EngineConfig::default(),
         }
@@ -147,13 +155,14 @@ impl Mapper {
     /// [`CoreError::NoAccurateSolution`] when every candidate mapping violates
     /// the accuracy tolerance.
     pub fn map_polynomial(&self, target: &Poly) -> Result<MappingSolution, CoreError> {
-        let candidates = self.candidates(target);
+        let tfp = PolyFingerprint::of(target);
+        let candidates = self.candidates(target, &tfp);
         if candidates.is_empty() {
             return Err(CoreError::NoCandidateElements {
                 target: target.to_string(),
             });
         }
-        let ordered = self.order_candidates(target, candidates);
+        let ordered = self.order_candidates(target, &tfp, candidates);
 
         let mut best: Option<MappingSolution> = None;
         let mut nodes = 0_usize;
@@ -179,7 +188,38 @@ impl Mapper {
     }
 
     /// Elements that share at least one variable with the target.
-    fn candidates(&self, target: &Poly) -> Vec<&LibraryElement> {
+    ///
+    /// The indexed path asks the library's shard index, which rejects on
+    /// support disjointness only — the one predicate this method has ever
+    /// filtered on, now answered per *shard* instead of per element. Both
+    /// paths produce the same elements in the same (insertion) order;
+    /// `use_fingerprint_index: false` keeps the legacy full scan alive for
+    /// ablation. Degree signatures deliberately take no part in rejection
+    /// here: a low-degree target can still be mapped through higher-degree
+    /// elements whose ideal cancels the excess (see `DESIGN.md` §9 for the
+    /// counterexample), so support disjointness is the only sound filter.
+    fn candidates(&self, target: &Poly, tfp: &PolyFingerprint) -> Vec<&'_ LibraryElement> {
+        if self.config.use_fingerprint_index {
+            let scan = self.library.candidates(tfp);
+            // Deterministic per-job prune record (a pure function of target
+            // and library), plus scheduling-tolerant aggregate counters.
+            trace_event!(
+                "mapper.candidates",
+                shards_skipped = scan.stats.shards_skipped,
+                shards_scanned = scan.stats.shards_scanned,
+                rejected = scan.stats.rejected,
+                kept = scan.stats.kept,
+            );
+            let metrics = self.cache.metrics();
+            metrics
+                .counter("index.shards_skipped")
+                .add(scan.stats.shards_skipped as u64);
+            metrics
+                .counter("index.rejected")
+                .add(scan.stats.rejected as u64);
+            metrics.counter("index.kept").add(scan.stats.kept as u64);
+            return scan.elements;
+        }
         let tvars = target.vars();
         self.library
             .iter()
@@ -191,9 +231,16 @@ impl Mapper {
     /// elements whose polynomial shows up as a factor of the target (or of
     /// one of its Horner coefficients) are tried first; ties are broken by
     /// ascending cost so cheaper alternatives are reached earlier.
+    ///
+    /// Fingerprints screen every exact polynomial comparison here: a
+    /// `may_equal` miss proves inequality and a `shared_support_count` is the
+    /// exact distinct-shared-variable count, so each candidate's score — and
+    /// therefore the final order — is identical to the unscreened
+    /// computation, element for element.
     fn order_candidates<'a>(
         &self,
         target: &Poly,
+        tfp: &PolyFingerprint,
         mut candidates: Vec<&'a LibraryElement>,
     ) -> Vec<&'a LibraryElement> {
         if !self.config.use_guidance {
@@ -201,25 +248,31 @@ impl Mapper {
             return candidates;
         }
         let factors = factor(target);
+        let factor_fps: Vec<PolyFingerprint> = factors
+            .factors
+            .iter()
+            .map(|(f, _)| PolyFingerprint::of(f))
+            .collect();
         let horner = horner_form_auto(target);
         let horner_expanded = horner.expand();
+        let horner_fp = PolyFingerprint::of(&horner_expanded);
         let score = |e: &LibraryElement| -> i64 {
+            let efp = e.fingerprint();
             let mut s = 0_i64;
-            if factors.factors.iter().any(|(f, _)| f == e.polynomial()) {
+            if factor_fps
+                .iter()
+                .zip(factors.factors.iter())
+                .any(|(ffp, (f, _))| ffp.may_equal(efp) && f == e.polynomial())
+            {
                 s -= 1_000_000;
             }
-            if e.polynomial() == target || e.polynomial() == &horner_expanded {
+            if (tfp.may_equal(efp) && e.polynomial() == target)
+                || (horner_fp.may_equal(efp) && e.polynomial() == &horner_expanded)
+            {
                 s -= 2_000_000;
             }
             // Elements covering more of the target's variables first.
-            let tvars = target.vars();
-            let covered = e
-                .polynomial()
-                .vars()
-                .iter()
-                .filter(|&v| tvars.contains(v))
-                .count() as i64;
-            s -= covered * 1_000;
+            s -= efp.shared_support_count(tfp) as i64 * 1_000;
             s + e.cycles() as i64
         };
         candidates.sort_by_key(|e| score(e));
@@ -606,6 +659,57 @@ mod tests {
         assert!(!truncated.basis_complete);
         assert!(truncated.verify(), "truncated rewrite must stay sound");
         assert!(truncated.accuracy <= 1e-4);
+    }
+
+    #[test]
+    fn fingerprint_index_is_invisible_to_results() {
+        // Mixed supports so the index genuinely skips shards, plus
+        // equal-polynomial alternatives so the ordering prefilters engage.
+        let mut lib = Library::new("t");
+        lib.push(element("sum", "s", "x + y", 3, 1e-9));
+        lib.push(element("diff", "d", "x - y", 3, 1e-9));
+        lib.push(element("prod", "q", "x*y", 5, 1e-9));
+        lib.push(element("sq_x", "sx", "x^2", 4, 1e-9));
+        lib.push(element("other", "o", "u*w + u^2", 2, 1e-9));
+        lib.push(element("sum_ipp", "s", "x + y", 2, 1e-7));
+        for target in [
+            "x^2 + 2*x*y + y^2",
+            "x^2 - y^2 + x*y",
+            "x^3*y",
+            "u*w + u^2 + x",
+            "q^2 + 1",
+        ] {
+            let t = p(target);
+            let on = Mapper::new(&lib, MapperConfig::default()).map_polynomial(&t);
+            let off = Mapper::new(
+                &lib,
+                MapperConfig {
+                    use_fingerprint_index: false,
+                    ..MapperConfig::default()
+                },
+            )
+            .map_polynomial(&t);
+            // Byte-identical outcomes, node counts included: the index must
+            // feed the search the exact candidate list the scan did.
+            assert_eq!(
+                format!("{on:?}"),
+                format!("{off:?}"),
+                "index changed the outcome for {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_scan_counters_accumulate_on_the_cache_metrics() {
+        let mut lib = Library::new("t");
+        lib.push(element("sum", "s", "x + y", 3, 1e-9));
+        lib.push(element("other", "o", "u*w", 2, 1e-9));
+        let mapper = Mapper::new(&lib, MapperConfig::default());
+        mapper.map_polynomial(&p("x^2 + 2*x*y + y^2")).unwrap();
+        let snapshot = mapper.cache.metrics().snapshot();
+        assert_eq!(snapshot.counter("index.kept"), 1);
+        assert_eq!(snapshot.counter("index.rejected"), 1);
+        assert_eq!(snapshot.counter("index.shards_skipped"), 1);
     }
 
     #[test]

@@ -61,14 +61,32 @@ fn engine(workers: usize) -> MappingEngine {
 /// The multi-modular lift is invisible to mapping output: the same batch,
 /// run with `GroebnerOptions::multimodular` off and on and at worker counts
 /// 1 and 4, renders byte-identically — and with the flag on, the lift
-/// actually engages (its counters move) rather than being silently skipped.
+/// actually engages on the fractional-coefficient targets (its counters
+/// move) while the profitability gate bypasses it on the small all-integer
+/// ones, rather than either path being silently skipped.
 #[test]
 fn multimodular_mapping_is_byte_identical_at_any_worker_count() {
-    let library = library();
+    // The profitability gate reads the ideal generators — the library side
+    // relations, not the target — so engaging the lift needs a library
+    // element with a fractional coefficient (`1/3` here, as in the scaled
+    // fixed-point kernels that motivate the lift).
+    let library = {
+        let mut lib = (*library()).clone();
+        lib.push(
+            LibraryElement::builder("third_sq", "ts")
+                .polynomial(Poly::parse("1/3*x^2").unwrap())
+                .cycles(4)
+                .energy_nj(4.0)
+                .accuracy(1e-9)
+                .build()
+                .unwrap(),
+        );
+        Arc::new(lib)
+    };
     let targets = [
-        "x^2 + 2*x*y + y^2",
+        "x^2 + 2*x*y + 1/3*y^2",
         "x^2 - y^2 + z^2",
-        "x*y + x^2 - 3",
+        "x*y + 5/2*x^2 - 3",
         "x^3 - x*y + 4*z^2",
     ];
     let jobs = |multimodular: bool| -> Vec<MapJob> {
@@ -98,6 +116,10 @@ fn multimodular_mapping_is_byte_identical_at_any_worker_count() {
             if multimodular {
                 let engaged = result.stats.lift_success + result.stats.lift_fallback;
                 assert!(engaged >= 1, "the lift never engaged at {workers} workers");
+                assert!(
+                    result.stats.lift_bypass >= 1,
+                    "the profitability gate never bypassed at {workers} workers"
+                );
             }
             renders.push(format!("{:?}", result.outcomes));
         }
@@ -154,6 +176,41 @@ proptest! {
         // Solutions that exist are valid rewrites.
         for solution in sequential.solutions() {
             prop_assert!(solution.verify());
+        }
+    }
+
+    /// Soundness of the fingerprint-index prune: no random target ever loses
+    /// a feasible solution (or changes outcome in any observable way) when
+    /// the index replaces the legacy full-library scan.
+    #[test]
+    fn pruning_never_loses_a_feasible_solution(
+        raw_targets in proptest::collection::vec(
+            proptest::collection::vec((0u32..4, 0u32..4, 0u32..3, -4i64..5), 1..5),
+            1..8,
+        ),
+    ) {
+        let library = library();
+        for (i, terms) in raw_targets.iter().enumerate() {
+            let target = target_from_terms(terms);
+            let outcomes: Vec<String> = [true, false]
+                .into_iter()
+                .map(|index| {
+                    let config = MapperConfig {
+                        use_fingerprint_index: index,
+                        ..MapperConfig::default()
+                    };
+                    let outcome = Mapper::new(&library, config).map_polynomial(&target);
+                    if let Ok(solution) = &outcome {
+                        assert!(solution.verify());
+                    }
+                    format!("{outcome:?}")
+                })
+                .collect();
+            prop_assert_eq!(
+                &outcomes[0],
+                &outcomes[1],
+                "target {} maps differently with the index on", i
+            );
         }
     }
 }

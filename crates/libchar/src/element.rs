@@ -3,6 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use symmap_algebra::fingerprint::PolyFingerprint;
 use symmap_algebra::poly::Poly;
 
 /// Numeric format of an element's inputs and outputs (from the library's
@@ -58,6 +59,10 @@ pub struct LibraryElement {
     name: String,
     output_symbol: String,
     polynomial: Poly,
+    /// Invariant summary of `polynomial`, computed once at build time so
+    /// candidate selection over thousand-element libraries never touches the
+    /// polynomial itself (see `DESIGN.md` §9).
+    fingerprint: PolyFingerprint,
     cycles: u64,
     energy_nj: f64,
     accuracy: f64,
@@ -93,6 +98,15 @@ impl LibraryElement {
     /// The polynomial representation of the element's function.
     pub fn polynomial(&self) -> &Poly {
         &self.polynomial
+    }
+
+    /// The precomputed invariant fingerprint of [`polynomial`]: support mask,
+    /// degree signature and ℤ/p evaluation hash, ready for O(1) conservative
+    /// pruning checks.
+    ///
+    /// [`polynomial`]: LibraryElement::polynomial
+    pub fn fingerprint(&self) -> &PolyFingerprint {
+        &self.fingerprint
     }
 
     /// Execution cycles on the characterized platform (per invocation).
@@ -222,10 +236,12 @@ impl LibraryElementBuilder {
         let polynomial = self.polynomial.ok_or(BuildElementError {
             name: self.name.clone(),
         })?;
+        let fingerprint = PolyFingerprint::of(&polynomial);
         Ok(LibraryElement {
             name: self.name,
             output_symbol: self.output_symbol,
             polynomial,
+            fingerprint,
             cycles: self.cycles,
             energy_nj: self.energy_nj,
             accuracy: self.accuracy,

@@ -31,6 +31,7 @@ pub mod catalog;
 pub mod characterize;
 pub mod element;
 pub mod library;
+pub mod synthetic;
 
 pub use element::{LibraryElement, LibrarySource, NumericFormat};
-pub use library::Library;
+pub use library::{CandidateScan, Library, LibraryShard, PruneStats};

@@ -1,0 +1,137 @@
+//! Synthetic large-library generation for scaling benchmarks.
+//!
+//! The paper maps against libraries of a few dozen elements; the
+//! `large_library` bench needs hundreds to thousands with realistic
+//! structure. This module fills a library with α-renamed, lightly perturbed
+//! copies of the MP3 catalog: each *group* rewrites every catalog element
+//! onto a fresh variable pool (`x → x__g7`), so groups land in disjoint
+//! fingerprint shards exactly the way unrelated subsystems' kernels would —
+//! which is the regime the fingerprint index is built for (a target touches
+//! one group's variables; every other group's shards are skipped by one
+//! mask test each).
+//!
+//! Everything here is a pure function of its arguments: no randomness, no
+//! clocks, so the bench corpus and the determinism suites see the same
+//! library byte for byte on every run.
+
+use symmap_algebra::poly::Poly;
+use symmap_algebra::var::Var;
+use symmap_algebra::Monomial;
+use symmap_numeric::rational::Rational;
+use symmap_platform::machine::Badge4;
+
+use crate::catalog;
+use crate::element::LibraryElement;
+use crate::library::Library;
+
+/// Rewrites `p` onto a fresh variable pool by suffixing every variable name.
+/// An α-renaming: the result is structurally identical with disjoint support.
+fn rename_poly(p: &Poly, suffix: &str) -> Poly {
+    Poly::from_terms(p.iter().map(|(m, c)| {
+        let pairs: Vec<(Var, u32)> = m
+            .iter()
+            .map(|(v, e)| (Var::new(&format!("{}{}", v.name(), suffix)), e))
+            .collect();
+        (Monomial::from_pairs(&pairs), c.clone())
+    }))
+}
+
+/// Scales the lexicographically-first term's coefficient by `factor` — a
+/// deterministic perturbation that keeps the support and degree signature
+/// while making the polynomial inequivalent to its sibling groups' copies
+/// even under renaming.
+fn perturb_poly(p: &Poly, factor: i64) -> Poly {
+    let mut first = true;
+    p.map_coefficients(|c| {
+        if std::mem::take(&mut first) {
+            c * &Rational::integer(factor)
+        } else {
+            c.clone()
+        }
+    })
+}
+
+/// Builds `full_catalog(badge)` plus `groups` α-renamed copies of it, each
+/// on its own variable pool. With the ~25-element catalog, `groups = 40`
+/// yields a ≈1000-element library. Element names and output symbols get the
+/// same `__g{i}` suffix as their variables; cycle costs are perturbed
+/// per-group so cost-based tie-breaks can't collapse groups together.
+pub fn synthetic_large_library(badge: &Badge4, groups: usize) -> Library {
+    let base = catalog::full_catalog(badge);
+    let mut lib = Library::new("synthetic-large");
+    lib.merge(&base);
+    for g in 0..groups {
+        let suffix = format!("__g{g}");
+        for e in base.iter() {
+            let factor = 1 + (g % 3) as i64;
+            let poly = perturb_poly(&rename_poly(e.polynomial(), &suffix), factor);
+            lib.push(
+                LibraryElement::builder(
+                    &format!("{}{}", e.name(), suffix),
+                    &format!("{}{}", e.output_symbol(), suffix),
+                )
+                .polynomial(poly)
+                .cycles(e.cycles() + (g as u64 % 7))
+                .energy_nj(e.energy_nj())
+                .accuracy(e.accuracy())
+                .format(e.format())
+                .source(e.source())
+                .build()
+                .expect("catalog elements always carry polynomials"),
+            );
+        }
+    }
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symmap_algebra::fingerprint::PolyFingerprint;
+
+    #[test]
+    fn groups_are_alpha_renamed_onto_disjoint_supports() {
+        let badge = Badge4::new();
+        let lib = synthetic_large_library(&badge, 2);
+        let base = catalog::full_catalog(&badge);
+        assert_eq!(lib.len(), base.len() * 3);
+        let orig = lib.element("float_imdct").unwrap();
+        let copy = lib.element("float_imdct__g0").unwrap();
+        assert!(!orig.fingerprint().intersects(copy.fingerprint()));
+        // Same shape: equal degree signature, disjoint variables.
+        assert_eq!(
+            orig.fingerprint().total_degree(),
+            copy.fingerprint().total_degree()
+        );
+        assert_eq!(
+            orig.fingerprint().term_count(),
+            copy.fingerprint().term_count()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let badge = Badge4::new();
+        let a = synthetic_large_library(&badge, 3);
+        let b = synthetic_large_library(&badge, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn candidates_for_one_group_skip_every_other_group() {
+        let badge = Badge4::new();
+        let lib = synthetic_large_library(&badge, 8);
+        let target = PolyFingerprint::of(
+            lib.element("float_stereo_butterfly__g5")
+                .unwrap()
+                .polynomial(),
+        );
+        let scan = lib.candidates(&target);
+        // Survivors all come from group 5.
+        assert!(!scan.elements.is_empty());
+        for e in &scan.elements {
+            assert!(e.name().ends_with("__g5"), "stray candidate {}", e.name());
+        }
+        assert!(scan.stats.rejected > scan.stats.kept * 4);
+    }
+}
